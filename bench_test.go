@@ -1,0 +1,152 @@
+package repro_test
+
+// Benchmarks regenerating the paper's evaluation (Section 5). One
+// benchmark per table/figure data point:
+//
+//	BenchmarkTable1/*   – the 9 chip×assay DFT flows; reported metrics are
+//	                      Table 1's columns (DFT valves, shared valves,
+//	                      exec times original / no-PSO / PSO).
+//	BenchmarkFigure7/*  – execution time original vs DFT with independent
+//	                      control lines.
+//	BenchmarkFigure8/*  – test vector counts, multi-instrument baseline vs
+//	                      single-source single-meter DFT.
+//	BenchmarkFigure9/*  – PSO convergence traces for the paper's three
+//	                      chip-assay combinations.
+//
+// Wall-clock per op is the flow runtime (Table 1's runtime column). The
+// PSO sizes match the paper (5 particles per level); iteration counts are
+// reduced from 100 to 30 to keep `go test -bench` sessions short — the
+// experiments binary (`cmd/experiments`) runs the full configuration.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/dft"
+	"repro/internal/core"
+	"repro/internal/pso"
+)
+
+const benchSeed = 2018
+
+func benchOpts(iters int) core.Options {
+	return core.Options{
+		Outer: pso.Config{Particles: 5, Iterations: iters},
+		Inner: pso.Config{Particles: 5, Iterations: 8},
+		Seed:  benchSeed,
+	}
+}
+
+var benchCombos = []struct{ chip, assay string }{
+	{"IVD_chip", "IVD"}, {"IVD_chip", "PID"}, {"IVD_chip", "CPA"},
+	{"RA30_chip", "IVD"}, {"RA30_chip", "PID"}, {"RA30_chip", "CPA"},
+	{"mRNA_chip", "IVD"}, {"mRNA_chip", "PID"}, {"mRNA_chip", "CPA"},
+}
+
+// BenchmarkTable1 regenerates Table 1: per chip×assay combination the
+// number of DFT valves, shared valves, and the three execution times.
+func BenchmarkTable1(b *testing.B) {
+	for _, combo := range benchCombos {
+		b.Run(fmt.Sprintf("%s/%s", combo.chip, combo.assay), func(b *testing.B) {
+			var last *dft.Result
+			for i := 0; i < b.N; i++ {
+				c, _ := dft.ChipByName(combo.chip)
+				a, _ := dft.AssayByName(combo.assay)
+				res, err := dft.Run(c, a, benchOpts(30))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.NumDFTValves), "dft-valves")
+			b.ReportMetric(float64(last.NumShared), "shared-valves")
+			b.ReportMetric(float64(last.ExecOriginal), "exec-orig-s")
+			b.ReportMetric(float64(last.ExecNoPSO), "exec-nopso-s")
+			b.ReportMetric(float64(last.ExecPSO), "exec-pso-s")
+		})
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: execution time on the original
+// chip vs the DFT architecture when DFT valves get independent control
+// lines (extra transport resources, no sharing constraints).
+func BenchmarkFigure7(b *testing.B) {
+	for _, combo := range benchCombos {
+		b.Run(fmt.Sprintf("%s/%s", combo.chip, combo.assay), func(b *testing.B) {
+			var orig, indep int
+			for i := 0; i < b.N; i++ {
+				c, _ := dft.ChipByName(combo.chip)
+				a, _ := dft.AssayByName(combo.assay)
+				base, err := dft.ScheduleAssay(c, nil, a, dft.SchedParams{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				aug, err := dft.Augment(c, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sch, err := dft.ScheduleAssay(aug.Chip, dft.IndependentControl(aug.Chip), a, dft.SchedParams{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				orig, indep = base.ExecutionTime, sch.ExecutionTime
+			}
+			b.ReportMetric(float64(orig), "exec-orig-s")
+			b.ReportMetric(float64(indep), "exec-dft-indep-s")
+		})
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: the number of test vectors on the
+// original chip (multi-source multi-meter baseline) vs the DFT chip
+// (single source, single meter). The DFT count is taken from the full flow
+// — the final architecture's vectors repaired for its valve-sharing
+// scheme, exactly what a manufactured chip would be tested with.
+func BenchmarkFigure8(b *testing.B) {
+	for _, chipName := range []string{"IVD_chip", "RA30_chip", "mRNA_chip"} {
+		b.Run(chipName, func(b *testing.B) {
+			var baseline, dftCount int
+			for i := 0; i < b.N; i++ {
+				c, _ := dft.ChipByName(chipName)
+				bp, bc, err := dft.BaselineVectors(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, _ := dft.AssayByName("IVD")
+				res, err := dft.Run(c, a, benchOpts(10))
+				if err != nil {
+					b.Fatal(err)
+				}
+				baseline = len(bp) + len(bc)
+				dftCount = res.NumTestVectors
+			}
+			b.ReportMetric(float64(baseline), "vectors-original")
+			b.ReportMetric(float64(dftCount), "vectors-dft")
+		})
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: the PSO convergence trace for the
+// paper's three chip-assay combinations. The reported metrics are the
+// global-best execution time after the first and the last iteration.
+func BenchmarkFigure9(b *testing.B) {
+	combos := []struct{ chip, assay string }{
+		{"IVD_chip", "IVD"}, {"RA30_chip", "PID"}, {"mRNA_chip", "CPA"},
+	}
+	for _, combo := range combos {
+		b.Run(fmt.Sprintf("%s/%s", combo.chip, combo.assay), func(b *testing.B) {
+			var first, final float64
+			for i := 0; i < b.N; i++ {
+				c, _ := dft.ChipByName(combo.chip)
+				a, _ := dft.AssayByName(combo.assay)
+				res, err := dft.Run(c, a, benchOpts(30))
+				if err != nil {
+					b.Fatal(err)
+				}
+				first, final = res.Trace[0], res.Trace[len(res.Trace)-1]
+			}
+			b.ReportMetric(first, "gbest-iter0-s")
+			b.ReportMetric(final, "gbest-final-s")
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Command chipinfo prints the netlist and an ASCII rendering of a
+// benchmark chip's connection grid.
+//
+//	chipinfo -chip IVD_chip [-dft]
+//
+// With -dft the chip is first augmented for single-source single-meter
+// testability; added channels render as == and :.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/dft"
+	"repro/internal/render"
+)
+
+func main() {
+	name := flag.String("chip", "IVD_chip", "IVD_chip, RA30_chip or mRNA_chip")
+	showDFT := flag.Bool("dft", false, "augment for DFT before rendering")
+	flag.Parse()
+	c, ok := dft.ChipByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chipinfo: unknown chip %q\n", *name)
+		os.Exit(2)
+	}
+	if *showDFT {
+		aug, err := dft.Augment(c, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chipinfo: %v\n", err)
+			os.Exit(1)
+		}
+		c = aug.Chip
+		fmt.Printf("augmented for test between %s and %s\n",
+			c.Ports[aug.Source].Name, c.Ports[aug.Meter].Name)
+	}
+	fmt.Println(c)
+	fmt.Println()
+	fmt.Println(render.Chip(c))
+	fmt.Println(render.Legend())
+	fmt.Println()
+
+	fmt.Println("devices:")
+	for _, d := range c.Devices {
+		fmt.Printf("  %-4s %-9s at %v\n", d.Name, d.Kind, c.Grid.CoordOf(d.Node))
+	}
+	fmt.Println("ports:")
+	for _, p := range c.Ports {
+		fmt.Printf("  %-4s at %v\n", p.Name, c.Grid.CoordOf(p.Node))
+	}
+	fmt.Printf("valves: %d on channel edges (%d DFT)\n", c.NumValves(), c.NumDFTValves())
+	a, b := c.MaxDistantPortPair()
+	fmt.Printf("farthest port pair (test source/meter): %s and %s\n", c.Ports[a].Name, c.Ports[b].Name)
+}

@@ -1,0 +1,151 @@
+// Command dftgen runs the complete design-for-testability flow for one
+// chip-assay combination and prints the augmented architecture, the valve
+// sharing scheme, and the full single-source single-meter test set.
+//
+//	dftgen -chip IVD_chip -assay IVD [-seed N] [-iters N] [-particles N] [-ilp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/dft"
+	"repro/internal/core"
+	"repro/internal/loader"
+	"repro/internal/pso"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		chipName  = flag.String("chip", "IVD_chip", "IVD_chip, RA30_chip or mRNA_chip")
+		assayName = flag.String("assay", "IVD", "IVD, PID or CPA")
+		chipFile  = flag.String("chip-file", "", "JSON chip spec (overrides -chip)")
+		assayFile = flag.String("assay-file", "", "JSON assay spec (overrides -assay)")
+		seed      = flag.Int64("seed", 2018, "random seed")
+		iters     = flag.Int("iters", 100, "outer PSO iterations")
+		particles = flag.Int("particles", 5, "PSO particles per level")
+		useILP    = flag.Bool("ilp", false, "use the exact ILP for the reference configuration")
+		asJSON    = flag.Bool("json", false, "emit the result as a JSON test program")
+	)
+	flag.Parse()
+
+	var c *dft.Chip
+	if *chipFile != "" {
+		f, err := os.Open(*chipFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
+			os.Exit(2)
+		}
+		c, err = loader.ReadChip(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		var ok bool
+		c, ok = dft.ChipByName(*chipName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dftgen: unknown chip %q\n", *chipName)
+			os.Exit(2)
+		}
+	}
+	var a *dft.Assay
+	if *assayFile != "" {
+		f, err := os.Open(*assayFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
+			os.Exit(2)
+		}
+		a, err = loader.ReadAssay(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		var ok bool
+		a, ok = dft.AssayByName(*assayName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dftgen: unknown assay %q\n", *assayName)
+			os.Exit(2)
+		}
+	}
+	if !*asJSON {
+		fmt.Println("chip :", c)
+		fmt.Println("assay:", a)
+	}
+
+	res, err := dft.Run(c, a, core.Options{
+		Outer:  pso.Config{Particles: *particles, Iterations: *iters},
+		Inner:  pso.Config{Particles: *particles, Iterations: 8},
+		Seed:   *seed,
+		UseILP: *useILP,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		if err := report.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println()
+	fmt.Println("== augmented architecture ==")
+	fmt.Println(res.Aug.Chip)
+	fmt.Printf("added DFT channels (grid edges): %v\n", res.Aug.AddedEdges)
+	for i, e := range res.Aug.AddedEdges {
+		from, to := res.Aug.Chip.Grid.EdgeEndpoints(e)
+		fmt.Printf("  DFT valve v%d on edge %v-%v\n", res.Aug.Chip.NumOriginalValves()+i, from, to)
+	}
+	fmt.Printf("test ports: source %s, meter %s\n",
+		res.Aug.Chip.Ports[res.Aug.Source].Name, res.Aug.Chip.Ports[res.Aug.Meter].Name)
+
+	fmt.Println()
+	fmt.Println("== valve sharing ==")
+	for i, p := range res.Partners {
+		if p < 0 {
+			fmt.Printf("  DFT valve v%d gets its own control line (no valid sharing existed)\n",
+				res.Aug.Chip.NumOriginalValves()+i)
+			continue
+		}
+		fmt.Printf("  DFT valve v%d shares control line of original valve v%d\n",
+			res.Aug.Chip.NumOriginalValves()+i, p)
+	}
+	if res.NumShared == res.NumDFTValves {
+		fmt.Printf("control lines: %d (unchanged — no additional control ports)\n", res.Control.NumLines())
+	} else {
+		fmt.Printf("control lines: %d (%d extra; full sharing was not achievable)\n",
+			res.Control.NumLines(), res.Control.NumLines()-res.Aug.Chip.NumOriginalValves())
+	}
+
+	fmt.Println()
+	fmt.Println("== test set ==")
+	fmt.Printf("%d path vectors (stuck-at-0):\n", len(res.PathVectors))
+	for i, v := range res.PathVectors {
+		fmt.Printf("  P%d: open valves %v\n", i+1, v.Valves)
+	}
+	fmt.Printf("%d cut vectors (stuck-at-1):\n", len(res.CutVectors))
+	for i, v := range res.CutVectors {
+		fmt.Printf("  C%d: close valves %v\n", i+1, v.Valves)
+	}
+	sim := dft.NewSimulator(res.Aug.Chip, res.Control)
+	vectors := append(append([]dft.Vector{}, res.PathVectors...), res.CutVectors...)
+	cov := sim.EvaluateCoverage(vectors, dft.AllFaults(res.Aug.Chip))
+	fmt.Printf("fault coverage under sharing: %v\n", cov)
+
+	fmt.Println()
+	fmt.Println("== execution time ==")
+	fmt.Printf("  original chip          : %5d s\n", res.ExecOriginal)
+	fmt.Printf("  DFT, unoptimized share : %5d s\n", res.ExecNoPSO)
+	fmt.Printf("  DFT, PSO-optimized     : %5d s\n", res.ExecPSO)
+	fmt.Printf("  DFT, independent ctrl  : %5d s\n", res.ExecIndependent)
+	fmt.Printf("flow runtime: %v\n", res.Runtime)
+}

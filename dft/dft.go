@@ -1,0 +1,238 @@
+// Package dft is the public API of the biochip design-for-testability
+// library, a Go reproduction of "Design-for-Testability for
+// Continuous-Flow Microfluidic Biochips" (Liu, Li, Ho, Chakrabarty,
+// Schlichtmann — DAC 2018).
+//
+// The library takes a continuous-flow biochip architecture and a bioassay,
+// and produces an augmented architecture that can be tested for
+// manufacturing defects (stuck-at-0: valves that cannot open or blocked
+// channels; stuck-at-1: valves that cannot close) with a single pressure
+// source and a single pressure meter, instead of a rack of instruments.
+// The valves added for testability share control lines with existing
+// valves — no new control ports — and a two-level particle swarm
+// optimization keeps the assay's execution time at the level of the
+// unmodified chip.
+//
+// # Quick start
+//
+//	c := dft.ChipIVD()                 // or build your own with dft.NewChipBuilder
+//	a := dft.AssayIVD()                // or build your own with dft.NewAssay
+//	res, err := dft.Run(c, a, dft.Options{Seed: 1})
+//	// res.Aug.Chip is the augmented architecture,
+//	// res.PathVectors/res.CutVectors the complete test set,
+//	// res.ExecPSO the optimized execution time.
+//
+// The subpackages under internal/ implement the substrates: the connection
+// grid and chip netlists, the ILP and PSO engines, the fault simulator,
+// test-path/cut generation, and the scheduler.
+package dft
+
+import (
+	"io"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/loader"
+	"repro/internal/pso"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/testgen"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Chip is a biochip netlist on a connection grid.
+	Chip = chip.Chip
+	// ChipBuilder assembles custom chips.
+	ChipBuilder = chip.Builder
+	// Control is a valve-to-control-line assignment.
+	Control = chip.Control
+	// Coord is a connection-grid coordinate.
+	Coord = grid.Coord
+	// Assay is a bioassay sequencing graph.
+	Assay = assay.Graph
+	// Options tunes the DFT flow (PSO sizes, scheduler model, ILP usage).
+	Options = core.Options
+	// Result is the output of the DFT flow.
+	Result = core.Result
+	// Augmentation is a DFT configuration with its test paths.
+	Augmentation = testgen.Augmentation
+	// Vector is a single test vector (path or cut).
+	Vector = fault.Vector
+	// Fault is a manufacturing defect at a valve.
+	Fault = fault.Fault
+	// Coverage summarizes a fault-simulation campaign.
+	Coverage = fault.Coverage
+	// Schedule is a scheduled assay execution.
+	Schedule = sched.Schedule
+	// SchedParams tunes the execution-time model.
+	SchedParams = sched.Params
+	// PSOConfig tunes one PSO level.
+	PSOConfig = pso.Config
+)
+
+// Device kinds for ChipBuilder.AddDevice.
+const (
+	Mixer    = chip.Mixer
+	Detector = chip.Detector
+	Heater   = chip.Heater
+	Filter   = chip.Filter
+)
+
+// Operation kinds for Assay building.
+const (
+	Dispense = assay.Dispense
+	Mix      = assay.Mix
+	Detect   = assay.Detect
+)
+
+// Fault kinds.
+const (
+	StuckAt0 = fault.StuckAt0
+	StuckAt1 = fault.StuckAt1
+	Leakage  = fault.Leakage
+)
+
+// Run executes the complete two-level PSO DFT flow: augment the chip for
+// single-source single-meter testability, choose a valve-sharing scheme
+// that keeps the test set valid, and optimize the assay's execution time.
+func Run(c *Chip, a *Assay, opts Options) (*Result, error) {
+	return core.RunDFTFlow(c, a, opts)
+}
+
+// Augment computes only the DFT configuration (added channels/valves and
+// the stuck-at-0 test paths) without valve sharing or scheduling, using
+// the greedy engine. Set useILP to solve the paper's ILP (eqs. (1)-(6))
+// exactly instead.
+func Augment(c *Chip, useILP bool) (*Augmentation, error) {
+	if useILP {
+		return testgen.AugmentILP(c, testgen.Options{})
+	}
+	return testgen.AugmentHeuristic(c, testgen.Options{})
+}
+
+// GenerateCuts produces stuck-at-1 test cuts for a chip between the given
+// ports (use the Augmentation's Source and Meter for DFT chips).
+func GenerateCuts(c *Chip, source, meter int) ([]Vector, error) {
+	return testgen.GenerateCuts(c, source, meter)
+}
+
+// GenerateCutsOptimal is GenerateCuts with an exact minimum-cardinality
+// set cover (candidate enumeration + the same branch-and-bound engine as
+// the path ILP) instead of the greedy cover.
+func GenerateCutsOptimal(c *Chip, source, meter int) ([]Vector, error) {
+	return testgen.GenerateCutsOptimal(c, source, meter)
+}
+
+// BaselineVectors generates the multi-source multi-meter test set of an
+// unaugmented chip (the comparison baseline of the paper's Fig. 8).
+func BaselineVectors(c *Chip) (paths, cuts []Vector, err error) {
+	return testgen.BaselineVectors(c)
+}
+
+// AllFaults enumerates every stuck-at-0 and stuck-at-1 fault of a chip.
+func AllFaults(c *Chip) []Fault { return fault.AllFaults(c) }
+
+// NewSimulator returns a pressure-propagation fault simulator for the chip
+// under the given control assignment (nil for independent control).
+func NewSimulator(c *Chip, ctrl *Control) *fault.Simulator {
+	if ctrl == nil {
+		ctrl = chip.IndependentControl(c)
+	}
+	return fault.NewSimulator(c, ctrl)
+}
+
+// IndependentControl gives every valve its own control line.
+func IndependentControl(c *Chip) *Control { return chip.IndependentControl(c) }
+
+// SharedControl builds a control assignment where DFT valve i shares the
+// line of original valve partners[i].
+func SharedControl(c *Chip, partners []int) (*Control, error) {
+	return chip.SharedControl(c, partners)
+}
+
+// Schedule runs the list scheduler for an assay on a chip under a control
+// assignment (nil = independent) and returns the full schedule.
+func ScheduleAssay(c *Chip, ctrl *Control, a *Assay, p SchedParams) (*Schedule, error) {
+	return sched.Run(c, ctrl, a, p)
+}
+
+// ControlLayer is a synthesized physical control layer (routing of the
+// air channels that actuate the valves).
+type ControlLayer = control.Layer
+
+// ControlParams tunes control-layer synthesis.
+type ControlParams = control.Params
+
+// SynthesizeControl routes the control layer for a chip under a control
+// assignment and reports channel length, actuation delays and sharing
+// skew — the physical backing of the paper's "no additional control
+// ports" claim.
+func SynthesizeControl(c *Chip, ctrl *Control, p ControlParams) (*ControlLayer, error) {
+	return control.Synthesize(c, ctrl, p)
+}
+
+// CompareControlOverhead synthesizes the control layer under the given
+// sharing and under independent control, returning both stats.
+func CompareControlOverhead(c *Chip, shared *Control, p ControlParams) (sharedStats, indepStats control.Stats, err error) {
+	return control.CompareSharingOverhead(c, shared, p)
+}
+
+// EstimateTestTime returns the seconds needed to apply a vector set on the
+// single-source single-meter platform.
+func EstimateTestTime(vectors []Vector, p testgen.TestTimeParams) int {
+	return testgen.EstimateTestTime(vectors, p)
+}
+
+// ReadChip loads a chip architecture from its JSON spec (see package
+// repro/internal/loader for the schema).
+func ReadChip(r io.Reader) (*Chip, error) { return loader.ReadChip(r) }
+
+// ReadAssay loads a sequencing graph from its JSON spec.
+func ReadAssay(r io.Reader) (*Assay, error) { return loader.ReadAssay(r) }
+
+// WriteChip serializes a chip to its JSON spec.
+func WriteChip(w io.Writer, c *Chip) error { return loader.WriteChip(w, c) }
+
+// WriteAssay serializes a sequencing graph to its JSON spec.
+func WriteAssay(w io.Writer, a *Assay) error { return loader.WriteAssay(w, a) }
+
+// WriteReport emits a flow result as a JSON test-program document.
+func WriteReport(w io.Writer, res *Result) error { return report.WriteJSON(w, res) }
+
+// NewChipBuilder starts a custom chip on a fresh w×h connection grid.
+func NewChipBuilder(name string, w, h int) *ChipBuilder {
+	return chip.NewBuilder(name, w, h)
+}
+
+// XY is a convenience constructor for grid coordinates.
+func XY(x, y int) Coord { return Coord{X: x, Y: y} }
+
+// NewAssay returns an empty sequencing graph.
+func NewAssay(name string) *Assay { return assay.New(name) }
+
+// Benchmark chips from the paper's Table 1.
+func ChipIVD() *Chip  { return chip.IVD() }
+func ChipRA30() *Chip { return chip.RA30() }
+func ChipMRNA() *Chip { return chip.MRNA() }
+
+// Benchmark assays from the paper's Table 1.
+func AssayIVD() *Assay { return assay.IVD() }
+func AssayPID() *Assay { return assay.PID() }
+func AssayCPA() *Assay { return assay.CPA() }
+
+// Chips returns all benchmark chips in Table 1 order.
+func Chips() []*Chip { return chip.Benchmarks() }
+
+// Assays returns all benchmark assays in Table 1 order.
+func Assays() []*Assay { return assay.Benchmarks() }
+
+// ChipByName resolves "IVD_chip", "RA30_chip" or "mRNA_chip".
+func ChipByName(name string) (*Chip, bool) { return chip.BenchmarkByName(name) }
+
+// AssayByName resolves "IVD", "PID" or "CPA".
+func AssayByName(name string) (*Assay, bool) { return assay.BenchmarkByName(name) }

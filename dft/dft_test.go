@@ -1,0 +1,135 @@
+package dft_test
+
+import (
+	"testing"
+
+	"repro/dft"
+)
+
+func TestBenchmarkAccessors(t *testing.T) {
+	if len(dft.Chips()) != 3 || len(dft.Assays()) != 3 {
+		t.Fatal("expected 3 benchmark chips and 3 assays")
+	}
+	if dft.ChipIVD().NumValves() != 12 || dft.ChipRA30().NumValves() != 16 || dft.ChipMRNA().NumValves() != 28 {
+		t.Fatal("benchmark valve counts changed")
+	}
+	if dft.AssayIVD().NumOps() != 12 || dft.AssayPID().NumOps() != 38 || dft.AssayCPA().NumOps() != 55 {
+		t.Fatal("benchmark op counts changed")
+	}
+	if _, ok := dft.ChipByName("IVD_chip"); !ok {
+		t.Fatal("ChipByName failed")
+	}
+	if _, ok := dft.AssayByName("CPA"); !ok {
+		t.Fatal("AssayByName failed")
+	}
+}
+
+func TestEndToEndFlow(t *testing.T) {
+	res, err := dft.Run(dft.ChipIVD(), dft.AssayIVD(), dft.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three headline claims of the paper, via the public API only:
+	// 1. single pressure source + single pressure meter suffice;
+	for _, v := range append(append([]dft.Vector{}, res.PathVectors...), res.CutVectors...) {
+		if len(v.Sources) != 1 || len(v.Meters) != 1 {
+			t.Fatalf("vector needs more than one instrument pair: %v", v)
+		}
+	}
+	// 2. no additional control ports;
+	if res.Control.NumLines() != dft.ChipIVD().NumOriginalValves() {
+		t.Fatalf("control lines grew: %d", res.Control.NumLines())
+	}
+	// 3. full fault coverage under the sharing scheme.
+	sim := dft.NewSimulator(res.Aug.Chip, res.Control)
+	cov := sim.EvaluateCoverage(append(res.PathVectors, res.CutVectors...), dft.AllFaults(res.Aug.Chip))
+	if !cov.Full() {
+		t.Fatalf("coverage: %v", cov)
+	}
+	// And the execution-time objective: DFT+PSO stays at the level of the
+	// original chip (the paper's Table 1 shows parity or small deltas).
+	if float64(res.ExecPSO) > 1.5*float64(res.ExecOriginal) {
+		t.Fatalf("execution time degraded badly: %d vs %d", res.ExecPSO, res.ExecOriginal)
+	}
+}
+
+func TestAugmentAndCutsViaPublicAPI(t *testing.T) {
+	for _, useILP := range []bool{false, true} {
+		c := dft.ChipIVD()
+		aug, err := dft.Augment(c, useILP)
+		if err != nil {
+			t.Fatalf("ilp=%v: %v", useILP, err)
+		}
+		cuts, err := dft.GenerateCuts(aug.Chip, aug.Source, aug.Meter)
+		if err != nil {
+			t.Fatalf("ilp=%v: %v", useILP, err)
+		}
+		cov := aug.Verify(nil, cuts)
+		if !cov.Full() {
+			t.Fatalf("ilp=%v: coverage %v", useILP, cov)
+		}
+	}
+}
+
+func TestCustomChipViaBuilder(t *testing.T) {
+	b := dft.NewChipBuilder("tiny", 5, 4)
+	b.AddDevice(dft.Mixer, "M", dft.XY(1, 1))
+	b.AddDevice(dft.Detector, "D", dft.XY(3, 1))
+	b.AddPort("P0", dft.XY(0, 1))
+	b.AddPort("P1", dft.XY(4, 1))
+	b.AddChannel(dft.XY(0, 1), dft.XY(1, 1), dft.XY(2, 1), dft.XY(3, 1), dft.XY(4, 1))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dft.NewAssay("mini")
+	m := a.AddOp(dft.Mix, "m", 30)
+	d := a.AddOp(dft.Detect, "d", 20)
+	a.AddDep(m, d)
+	sch, err := dft.ScheduleAssay(c, nil, a, dft.SchedParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.ExecutionTime < 50 {
+		t.Fatalf("execution time %d below op total", sch.ExecutionTime)
+	}
+}
+
+func TestBaselineVectorsPublicAPI(t *testing.T) {
+	paths, cuts, err := dft.BaselineVectors(dft.ChipIVD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 || len(cuts) == 0 {
+		t.Fatal("baseline produced no vectors")
+	}
+	// Baseline vectors may use multiple instruments.
+	multi := false
+	for _, v := range paths {
+		if len(v.Meters) > 1 || len(v.Sources) > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Log("note: baseline found no packable multi-meter vector on IVD (acceptable)")
+	}
+}
+
+func TestSharedControlPublicAPI(t *testing.T) {
+	c := dft.ChipIVD()
+	aug, err := dft.Augment(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partners := make([]int, aug.Chip.NumDFTValves())
+	for i := range partners {
+		partners[i] = i
+	}
+	ctrl, err := dft.SharedControl(aug.Chip, partners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.NumLines() != aug.Chip.NumOriginalValves() {
+		t.Fatal("sharing must not add lines")
+	}
+}

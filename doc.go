@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of "Design-for-Testability for
+// Continuous-Flow Microfluidic Biochips" (Liu, Li, Ho, Chakrabarty,
+// Schlichtmann — DAC 2018).
+//
+// The public API lives in package repro/dft; the substrates (connection
+// grid, chip netlists, LP/ILP solvers, fault simulator, test generation,
+// scheduler, PSO) live under internal/. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results.
+package repro

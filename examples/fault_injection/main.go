@@ -1,0 +1,82 @@
+// Fault injection: a virtual production-test bench. The example augments
+// the RA30 chip for single-source single-meter test, then plays the role
+// of the test equipment: it manufactures a batch of virtual chips — some
+// defect-free, some with a seeded stuck-at-0 or stuck-at-1 defect — and
+// applies the generated vector set to each, reporting which chips the test
+// rejects and which defect each vector catches.
+//
+//	go run ./examples/fault_injection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dft"
+)
+
+func main() {
+	c := dft.ChipRA30()
+	fmt.Println("chip:", c)
+
+	aug, err := dft.Augment(c, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cuts, err := dft.GenerateCuts(aug.Chip, aug.Source, aug.Meter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths := aug.PathVectors()
+	vectors := append(append([]dft.Vector{}, paths...), cuts...)
+	fmt.Printf("augmented: +%d DFT valves; %d path vectors, %d cut vectors\n",
+		aug.Chip.NumDFTValves(), len(paths), len(cuts))
+	fmt.Printf("test rig : one pressure source at %s, one meter at %s\n\n",
+		aug.Chip.Ports[aug.Source].Name, aug.Chip.Ports[aug.Meter].Name)
+
+	sim := dft.NewSimulator(aug.Chip, nil)
+
+	// The batch: one good chip plus one chip per possible defect.
+	type unit struct {
+		name  string
+		fault *dft.Fault
+	}
+	batch := []unit{{name: "chip-000 (defect-free)"}}
+	for _, f := range dft.AllFaults(aug.Chip) {
+		f := f
+		batch = append(batch, unit{name: fmt.Sprintf("chip-%v", f), fault: &f})
+	}
+
+	rejected := 0
+	for _, u := range batch {
+		verdict := "PASS"
+		caughtBy := ""
+		if u.fault != nil {
+			for i, v := range vectors {
+				if sim.Detects(v, *u.fault) {
+					verdict = "REJECT"
+					caughtBy = fmt.Sprintf("vector #%d (%v)", i, v.Kind)
+					break
+				}
+			}
+		}
+		if verdict == "REJECT" {
+			rejected++
+			if rejected <= 5 { // print a few, summarize the rest
+				fmt.Printf("%-28s %-7s caught by %s\n", u.name, verdict, caughtBy)
+			}
+		} else if u.fault == nil {
+			fmt.Printf("%-28s %-7s (all %d vectors read as expected)\n", u.name, verdict, len(vectors))
+		} else {
+			fmt.Printf("%-28s %-7s DEFECT ESCAPED!\n", u.name, verdict)
+		}
+	}
+	fmt.Printf("...\nbatch of %d: %d defective chips rejected, %d escaped\n",
+		len(batch), rejected, len(batch)-1-rejected)
+
+	cov := sim.EvaluateCoverage(vectors, dft.AllFaults(aug.Chip))
+	fmt.Printf("fault coverage: %v\n", cov)
+	if !cov.Full() {
+		log.Fatal("coverage must be complete")
+	}
+}

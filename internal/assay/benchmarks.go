@@ -1,0 +1,116 @@
+package assay
+
+import "fmt"
+
+// IVD returns the In-Vitro Diagnostics assay (12 operations): four
+// sample-reagent mixes each followed by an optical detection, then two
+// second-stage confirmation mixes combining pairs of first-stage products,
+// each with its own detection.
+//
+//	mix1..mix4 -> det1..det4
+//	(mix1,mix2) -> mix5 -> det5
+//	(mix3,mix4) -> mix6 -> det6
+func IVD() *Graph {
+	g := New("IVD")
+	var mix [7]int // 1-indexed
+	for i := 1; i <= 4; i++ {
+		mix[i] = g.AddOp(Mix, fmt.Sprintf("mix%d", i), IVDMixTime)
+		det := g.AddOp(Detect, fmt.Sprintf("det%d", i), IVDDetectTime)
+		g.AddDep(mix[i], det)
+	}
+	mix[5] = g.AddOp(Mix, "mix5", IVDMixTime)
+	g.AddDep(mix[1], mix[5])
+	g.AddDep(mix[2], mix[5])
+	det5 := g.AddOp(Detect, "det5", IVDDetectTime)
+	g.AddDep(mix[5], det5)
+	mix[6] = g.AddOp(Mix, "mix6", IVDMixTime)
+	g.AddDep(mix[3], mix[6])
+	g.AddDep(mix[4], mix[6])
+	det6 := g.AddOp(Detect, "det6", IVDDetectTime)
+	g.AddDep(mix[6], det6)
+	mustValidate(g)
+	return g
+}
+
+// PID returns the Protein Interpolation Dilution assay (38 operations): a
+// serial dilution chain of 19 mixes, each dilution step measured by a
+// detection, for 19 + 19 = 38 operations. Each mix consumes the previous
+// dilution; detections branch off the chain.
+func PID() *Graph {
+	g := New("PID")
+	prev := -1
+	for i := 1; i <= 19; i++ {
+		m := g.AddOp(Mix, fmt.Sprintf("dil%d", i), PIDMixTime)
+		if prev >= 0 {
+			g.AddDep(prev, m)
+		}
+		d := g.AddOp(Detect, fmt.Sprintf("det%d", i), PIDDetectTime)
+		g.AddDep(m, d)
+		prev = m
+	}
+	mustValidate(g)
+	return g
+}
+
+// CPA returns the Colorimetric Protein Assay (55 operations): 16 sample/
+// buffer dispenses feed a complete binary mixing tree of 15 mixes producing
+// one calibrated dilution; the product is split into 8 aliquots, each mixed
+// with a dispensed reagent (8 dispenses + 8 mixes) and measured (8
+// detects). 24 dispenses + 23 mixes + 8 detects = 55 operations.
+func CPA() *Graph {
+	g := New("CPA")
+	// Level 0: 16 dispenses.
+	level := make([]int, 16)
+	for i := range level {
+		level[i] = g.AddOp(Dispense, fmt.Sprintf("dsp%d", i+1), DefaultDispenseTime)
+	}
+	// Binary tree: 8 + 4 + 2 + 1 = 15 mixes.
+	lvl := 1
+	for len(level) > 1 {
+		next := make([]int, 0, len(level)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			m := g.AddOp(Mix, fmt.Sprintf("tree%d_%d", lvl, i/2+1), CPAMixTime)
+			g.AddDep(level[i], m)
+			g.AddDep(level[i+1], m)
+			next = append(next, m)
+		}
+		level = next
+		lvl++
+	}
+	root := level[0]
+	// 8 reagent dispenses, 8 assay mixes, 8 detects.
+	for i := 1; i <= 8; i++ {
+		r := g.AddOp(Dispense, fmt.Sprintf("reagent%d", i), DefaultDispenseTime)
+		m := g.AddOp(Mix, fmt.Sprintf("assay%d", i), CPAMixTime)
+		g.AddDep(root, m)
+		g.AddDep(r, m)
+		d := g.AddOp(Detect, fmt.Sprintf("read%d", i), CPADetectTime)
+		g.AddDep(m, d)
+	}
+	mustValidate(g)
+	return g
+}
+
+// Benchmarks returns fresh instances of the three paper assays in Table 1
+// order.
+func Benchmarks() []*Graph { return []*Graph{IVD(), PID(), CPA()} }
+
+// BenchmarkByName returns a fresh instance of the named assay; ok is false
+// for unknown names.
+func BenchmarkByName(name string) (*Graph, bool) {
+	switch name {
+	case "IVD", "ivd":
+		return IVD(), true
+	case "PID", "pid":
+		return PID(), true
+	case "CPA", "cpa":
+		return CPA(), true
+	}
+	return nil, false
+}
+
+func mustValidate(g *Graph) {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+}

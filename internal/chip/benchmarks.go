@@ -1,0 +1,110 @@
+package chip
+
+import "repro/internal/grid"
+
+// The three benchmark chips of the paper's Table 1. Their exact netlists
+// ([6], [21]) are unpublished, so the layouts below are reconstructions on
+// connection grids that match the published device and valve counts:
+//
+//	IVD_chip : 3 mixers, 2 detectors, 12 valves
+//	RA30_chip: 2 mixers, 3 detectors, 16 valves
+//	mRNA_chip: 3 mixers, 1 detector,  28 valves
+//
+// One valve guards each channel grid-edge, so valve count equals channel
+// edge count. The DFT algorithm consumes only the grid topology, device
+// placement and port placement, so these reconstructions exercise the same
+// code paths as the originals.
+
+func xy(x, y int) grid.Coord { return grid.Coord{X: x, Y: y} }
+
+// IVD returns the IVD_chip benchmark (3 mixers, 2 detectors, 12 valves,
+// 3 ports on a 6×6 grid).
+func IVD() *Chip {
+	b := NewBuilder("IVD_chip", 6, 6)
+	b.AddDevice(Mixer, "M1", xy(1, 1))
+	b.AddDevice(Mixer, "M2", xy(3, 1))
+	b.AddDevice(Mixer, "M3", xy(2, 3))
+	b.AddDevice(Detector, "D1", xy(1, 3))
+	b.AddDevice(Detector, "D2", xy(3, 3))
+	b.AddPort("P0", xy(0, 1))
+	b.AddPort("P1", xy(0, 3))
+	b.AddPort("P2", xy(5, 1))
+	b.AddChannel(xy(0, 1), xy(1, 1))           // P0-M1
+	b.AddChannel(xy(1, 1), xy(2, 1), xy(3, 1)) // M1-M2
+	b.AddChannel(xy(1, 1), xy(1, 2), xy(1, 3)) // M1-D1
+	b.AddChannel(xy(3, 1), xy(3, 2), xy(3, 3)) // M2-D2
+	b.AddChannel(xy(1, 3), xy(2, 3))           // D1-M3
+	b.AddChannel(xy(2, 3), xy(3, 3))           // M3-D2
+	b.AddChannel(xy(1, 3), xy(0, 3))           // D1-P1
+	b.AddChannel(xy(3, 1), xy(4, 1), xy(5, 1)) // M2-P2
+	return b.MustBuild()
+}
+
+// RA30 returns the RA30_chip benchmark (2 mixers, 3 detectors, 16 valves,
+// 3 ports on a 7×7 grid).
+func RA30() *Chip {
+	b := NewBuilder("RA30_chip", 7, 7)
+	b.AddDevice(Mixer, "M1", xy(1, 2))
+	b.AddDevice(Mixer, "M2", xy(4, 2))
+	b.AddDevice(Detector, "D1", xy(1, 4))
+	b.AddDevice(Detector, "D2", xy(4, 4))
+	b.AddDevice(Detector, "D3", xy(2, 5))
+	b.AddPort("P0", xy(0, 2))
+	b.AddPort("P1", xy(2, 6))
+	b.AddPort("P2", xy(6, 2))
+	b.AddChannel(xy(0, 2), xy(1, 2))                     // P0-M1
+	b.AddChannel(xy(1, 2), xy(2, 2), xy(3, 2), xy(4, 2)) // M1-M2
+	b.AddChannel(xy(1, 2), xy(1, 3), xy(1, 4))           // M1-D1
+	b.AddChannel(xy(4, 2), xy(4, 3), xy(4, 4))           // M2-D2
+	b.AddChannel(xy(1, 4), xy(2, 4), xy(3, 4), xy(4, 4)) // D1-D2
+	b.AddChannel(xy(1, 4), xy(1, 5), xy(2, 5))           // D1-D3
+	b.AddChannel(xy(2, 5), xy(2, 6))                     // D3-P1
+	b.AddChannel(xy(4, 2), xy(5, 2), xy(6, 2))           // M2-P2
+	return b.MustBuild()
+}
+
+// MRNA returns the mRNA_chip benchmark (3 mixers, 1 detector, 28 valves,
+// 4 ports on an 8×8 grid). The chip follows the single-cell mRNA isolation
+// architecture of Marcus et al. [21]: long serpentine transport channels
+// and a ring of devices.
+func MRNA() *Chip {
+	b := NewBuilder("mRNA_chip", 8, 8)
+	b.AddDevice(Mixer, "M1", xy(2, 1))
+	b.AddDevice(Mixer, "M2", xy(5, 1))
+	b.AddDevice(Mixer, "M3", xy(2, 4))
+	b.AddDevice(Detector, "D1", xy(5, 4))
+	b.AddPort("P0", xy(0, 1))
+	b.AddPort("P1", xy(7, 6))
+	b.AddPort("P2", xy(3, 7))
+	b.AddPort("P3", xy(0, 5))
+	b.AddChannel(xy(0, 1), xy(1, 1), xy(2, 1))                     // P0-M1
+	b.AddChannel(xy(2, 1), xy(3, 1), xy(4, 1), xy(5, 1))           // M1-M2
+	b.AddChannel(xy(5, 1), xy(5, 2), xy(5, 3), xy(5, 4))           // M2-D1
+	b.AddChannel(xy(2, 1), xy(2, 2), xy(2, 3), xy(2, 4))           // M1-M3
+	b.AddChannel(xy(2, 4), xy(3, 4), xy(4, 4), xy(5, 4))           // M3-D1
+	b.AddChannel(xy(2, 4), xy(2, 5), xy(2, 6), xy(3, 6), xy(3, 7)) // M3-P2
+	b.AddChannel(xy(5, 4), xy(6, 4), xy(6, 5), xy(6, 6), xy(7, 6)) // D1-P1
+	b.AddChannel(xy(5, 4), xy(5, 5), xy(5, 6), xy(4, 6), xy(3, 6)) // D1 loop
+	b.AddChannel(xy(2, 5), xy(1, 5), xy(0, 5))                     // junction-P3
+	return b.MustBuild()
+}
+
+// Benchmarks returns fresh instances of all three benchmark chips in the
+// paper's Table 1 order.
+func Benchmarks() []*Chip {
+	return []*Chip{IVD(), RA30(), MRNA()}
+}
+
+// BenchmarkByName returns a fresh instance of the named benchmark chip
+// ("IVD_chip", "RA30_chip" or "mRNA_chip"); ok is false for unknown names.
+func BenchmarkByName(name string) (*Chip, bool) {
+	switch name {
+	case "IVD_chip", "ivd", "IVD":
+		return IVD(), true
+	case "RA30_chip", "ra30", "RA30":
+		return RA30(), true
+	case "mRNA_chip", "mrna", "mRNA":
+		return MRNA(), true
+	}
+	return nil, false
+}

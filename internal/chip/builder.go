@@ -1,0 +1,133 @@
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Builder assembles a Chip incrementally and validates it at Build time.
+// Coordinates refer to the chip's connection grid.
+type Builder struct {
+	name string
+	grd  *grid.Grid
+	chip *Chip
+	errs []error
+}
+
+// NewBuilder starts a chip on a fresh w×h connection grid.
+func NewBuilder(name string, w, h int) *Builder {
+	g := grid.New(w, h)
+	c := &Chip{Name: name, Grid: g, valveOfEdge: make([]int, g.NumEdges())}
+	for i := range c.valveOfEdge {
+		c.valveOfEdge[i] = -1
+	}
+	return &Builder{name: name, grd: g, chip: c}
+}
+
+// AddDevice places a device at coordinate c and returns its ID.
+func (b *Builder) AddDevice(kind DeviceKind, name string, c grid.Coord) int {
+	node := b.grd.NodeAt(c)
+	if d, ok := b.chip.DeviceAt(node); ok {
+		b.errs = append(b.errs, fmt.Errorf("device %q collides with %q at %v", name, d.Name, c))
+	}
+	if p, ok := b.chip.PortAt(node); ok {
+		b.errs = append(b.errs, fmt.Errorf("device %q collides with port %q at %v", name, p.Name, c))
+	}
+	id := len(b.chip.Devices)
+	b.chip.Devices = append(b.chip.Devices, Device{ID: id, Kind: kind, Name: name, Node: node})
+	return id
+}
+
+// AddPort places an external port at boundary coordinate c and returns its ID.
+func (b *Builder) AddPort(name string, c grid.Coord) int {
+	if !b.grd.OnBoundary(c) {
+		b.errs = append(b.errs, fmt.Errorf("port %q at %v is not on the grid boundary", name, c))
+	}
+	node := b.grd.NodeAt(c)
+	if d, ok := b.chip.DeviceAt(node); ok {
+		b.errs = append(b.errs, fmt.Errorf("port %q collides with device %q at %v", name, d.Name, c))
+	}
+	if p, ok := b.chip.PortAt(node); ok {
+		b.errs = append(b.errs, fmt.Errorf("port %q collides with port %q at %v", name, p.Name, c))
+	}
+	id := len(b.chip.Ports)
+	b.chip.Ports = append(b.chip.Ports, Port{ID: id, Name: name, Node: node})
+	return id
+}
+
+// AddChannel routes a flow channel along the coordinate walk, placing one
+// valve per grid edge. Edges already occupied are an error (channels meet
+// only at nodes, forming switches).
+func (b *Builder) AddChannel(walk ...grid.Coord) {
+	edges, err := b.grd.PathEdges(walk)
+	if err != nil {
+		b.errs = append(b.errs, err)
+		return
+	}
+	for _, e := range edges {
+		if b.chip.valveOfEdge[e] >= 0 {
+			a, c := b.grd.EdgeEndpoints(e)
+			b.errs = append(b.errs, fmt.Errorf("channel edge %v-%v already occupied", a, c))
+			continue
+		}
+		id := len(b.chip.valves)
+		b.chip.valves = append(b.chip.valves, Valve{ID: id, Edge: e})
+		b.chip.valveOfEdge[e] = id
+	}
+}
+
+// Build validates and returns the chip:
+//   - at least 2 ports and 1 device,
+//   - every device and port touches at least one channel edge,
+//   - the channel network is connected.
+func (b *Builder) Build() (*Chip, error) {
+	c := b.chip
+	c.numOriginal = len(c.valves)
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("chip %s: %d build errors, first: %w", b.name, len(b.errs), b.errs[0])
+	}
+	if len(c.Ports) < 2 {
+		return nil, fmt.Errorf("chip %s: needs at least 2 ports, has %d", b.name, len(c.Ports))
+	}
+	if len(c.Devices) == 0 {
+		return nil, fmt.Errorf("chip %s: has no devices", b.name)
+	}
+	touches := func(node int) bool {
+		for _, e := range c.Grid.IncidentEdges(node) {
+			if c.valveOfEdge[e] >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range c.Devices {
+		if !touches(d.Node) {
+			return nil, fmt.Errorf("chip %s: device %q is not connected to any channel", b.name, d.Name)
+		}
+	}
+	for _, p := range c.Ports {
+		if !touches(p.Node) {
+			return nil, fmt.Errorf("chip %s: port %q is not connected to any channel", b.name, p.Name)
+		}
+	}
+	// Channel-network connectivity: all valved edges in one component.
+	edges := c.ChannelEdges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("chip %s: has no channels", b.name)
+	}
+	comps := c.Grid.Graph().EdgeSubgraphComponents(edges)
+	if len(comps) != 1 {
+		return nil, fmt.Errorf("chip %s: channel network has %d disconnected parts", b.name, len(comps))
+	}
+	return c, nil
+}
+
+// MustBuild is Build that panics on error; for the built-in benchmarks.
+func (b *Builder) MustBuild() *Chip {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

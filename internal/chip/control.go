@@ -1,0 +1,159 @@
+package chip
+
+import "fmt"
+
+// Control assigns every valve to a control line. Original valves own lines
+// 0..NumOriginalValves-1. A DFT valve either shares the line of an original
+// valve (the paper's valve-sharing scheme, requiring no new control ports)
+// or owns a fresh line (independent control, Fig. 7's scenario).
+type Control struct {
+	chip   *Chip
+	lineOf []int // valve ID -> line
+	nLines int
+}
+
+// IndependentControl gives every valve (original and DFT) its own line.
+func IndependentControl(c *Chip) *Control {
+	ct := &Control{chip: c, lineOf: make([]int, c.NumValves()), nLines: c.NumValves()}
+	for i := range ct.lineOf {
+		ct.lineOf[i] = i
+	}
+	return ct
+}
+
+// SharedControl builds a control assignment where DFT valve i (the i-th
+// valve with ID >= NumOriginalValves) shares the control line of original
+// valve partner[i]. Every original valve may host at most one DFT valve.
+// A partner of -1 gives that DFT valve its own fresh control line (partial
+// sharing — a fallback for chips where no full sharing scheme validates).
+func SharedControl(c *Chip, partner []int) (*Control, error) {
+	nOrig := c.NumOriginalValves()
+	nDFT := c.NumDFTValves()
+	if len(partner) != nDFT {
+		return nil, fmt.Errorf("chip %s: %d partners for %d DFT valves", c.Name, len(partner), nDFT)
+	}
+	ct := &Control{chip: c, lineOf: make([]int, c.NumValves()), nLines: nOrig}
+	for v := 0; v < nOrig; v++ {
+		ct.lineOf[v] = v
+	}
+	used := make(map[int]int, nDFT)
+	for i, p := range partner {
+		if p == -1 {
+			ct.lineOf[nOrig+i] = ct.nLines
+			ct.nLines++
+			continue
+		}
+		if p < 0 || p >= nOrig {
+			return nil, fmt.Errorf("chip %s: DFT valve %d names invalid partner %d", c.Name, nOrig+i, p)
+		}
+		if prev, dup := used[p]; dup {
+			return nil, fmt.Errorf("chip %s: original valve %d shared by DFT valves %d and %d", c.Name, p, prev, nOrig+i)
+		}
+		used[p] = nOrig + i
+		ct.lineOf[nOrig+i] = p
+	}
+	return ct, nil
+}
+
+// Chip returns the chip this control layer drives.
+func (ct *Control) Chip() *Chip { return ct.chip }
+
+// NumLines returns the number of distinct control lines (= control ports).
+func (ct *Control) NumLines() int { return ct.nLines }
+
+// LineOf returns the control line actuating valve v.
+func (ct *Control) LineOf(v int) int { return ct.lineOf[v] }
+
+// SharedWith returns the valves on the same control line as v, excluding v.
+func (ct *Control) SharedWith(v int) []int {
+	var out []int
+	for u, l := range ct.lineOf {
+		if u != v && l == ct.lineOf[v] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// NumShared returns how many DFT valves share a line with an original valve.
+func (ct *Control) NumShared() int {
+	nOrig := ct.chip.NumOriginalValves()
+	n := 0
+	for v := nOrig; v < ct.chip.NumValves(); v++ {
+		if ct.lineOf[v] < nOrig {
+			n++
+		}
+	}
+	return n
+}
+
+// ExpandOpen maps an intended-open valve set to the actual valve states:
+// a line is driven open iff it controls at least one intended-open valve;
+// all valves on open lines open, everything else stays closed. This is the
+// semantics of applying a test path under valve sharing.
+func (ct *Control) ExpandOpen(intendedOpen []bool) []bool {
+	ct.checkLen(intendedOpen)
+	lineOpen := make([]bool, ct.nLines)
+	for v, o := range intendedOpen {
+		if o {
+			lineOpen[ct.lineOf[v]] = true
+		}
+	}
+	out := make([]bool, len(intendedOpen))
+	for v := range out {
+		out[v] = lineOpen[ct.lineOf[v]]
+	}
+	return out
+}
+
+// ExpandClosed maps an intended-closed valve set to actual valve states
+// (returned as open flags): a line is driven closed iff it controls at
+// least one intended-closed valve; everything else stays open. This is the
+// semantics of applying a test cut under valve sharing.
+func (ct *Control) ExpandClosed(intendedClosed []bool) []bool {
+	ct.checkLen(intendedClosed)
+	lineClosed := make([]bool, ct.nLines)
+	for v, cl := range intendedClosed {
+		if cl {
+			lineClosed[ct.lineOf[v]] = true
+		}
+	}
+	out := make([]bool, len(intendedClosed))
+	for v := range out {
+		out[v] = !lineClosed[ct.lineOf[v]]
+	}
+	return out
+}
+
+// Conflicts reports the valves that cannot satisfy the requested states:
+// requireOpen and requireClosed are per-valve demands (both false = don't
+// care). A conflict exists when one control line receives both demands.
+// The scheduler uses this to reject transport snapshots under sharing.
+func (ct *Control) Conflicts(requireOpen, requireClosed []bool) []int {
+	ct.checkLen(requireOpen)
+	ct.checkLen(requireClosed)
+	lineOpen := make([]bool, ct.nLines)
+	lineClosed := make([]bool, ct.nLines)
+	for v := range requireOpen {
+		if requireOpen[v] {
+			lineOpen[ct.lineOf[v]] = true
+		}
+		if requireClosed[v] {
+			lineClosed[ct.lineOf[v]] = true
+		}
+	}
+	var out []int
+	for v := range requireOpen {
+		l := ct.lineOf[v]
+		if lineOpen[l] && lineClosed[l] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (ct *Control) checkLen(s []bool) {
+	if len(s) != ct.chip.NumValves() {
+		panic(fmt.Sprintf("chip %s: state vector has %d entries for %d valves", ct.chip.Name, len(s), ct.chip.NumValves()))
+	}
+}

@@ -1,0 +1,181 @@
+package chip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/grid"
+)
+
+// FPVA builds a fully programmable valve array (Liu et al., DATE'17, the
+// paper's ref. [16]): a w×h region in which every grid edge is a valved
+// channel, with a port in the middle of each side and devices assigned to
+// interior nodes. FPVAs are the limiting case for test generation — no
+// free edges remain for augmentation, and the dense mesh makes every
+// valve reachable from every port.
+func FPVA(w, h int) *Chip {
+	if w < 4 || h < 4 {
+		panic("chip: FPVA needs at least a 4x4 grid")
+	}
+	b := NewBuilder(fmt.Sprintf("FPVA_%dx%d", w, h), w, h)
+	// Devices: two mixers and a detector on interior nodes.
+	b.AddDevice(Mixer, "M1", grid.Coord{X: 1, Y: 1})
+	b.AddDevice(Mixer, "M2", grid.Coord{X: w - 2, Y: h - 2})
+	b.AddDevice(Detector, "D1", grid.Coord{X: w - 2, Y: 1})
+	b.AddPort("PN", grid.Coord{X: w / 2, Y: 0})
+	b.AddPort("PS", grid.Coord{X: w / 2, Y: h - 1})
+	b.AddPort("PW", grid.Coord{X: 0, Y: h / 2})
+	b.AddPort("PE", grid.Coord{X: w - 1, Y: h / 2})
+	// Every horizontal and vertical segment is a channel.
+	for y := 0; y < h; y++ {
+		for x := 0; x+1 < w; x++ {
+			b.AddChannel(grid.Coord{X: x, Y: y}, grid.Coord{X: x + 1, Y: y})
+		}
+	}
+	for x := 0; x < w; x++ {
+		for y := 0; y+1 < h; y++ {
+			b.AddChannel(grid.Coord{X: x, Y: y}, grid.Coord{X: x, Y: y + 1})
+		}
+	}
+	return b.MustBuild()
+}
+
+// Random generates a random valid chip for property-based testing: devices
+// scattered over a grid, spanning-tree channels connecting them (so the
+// network is connected), a few extra cross-links, and 2-4 boundary ports.
+// The same rng always yields the same chip.
+func Random(rng *rand.Rand) *Chip {
+	w := 6 + rng.Intn(3)
+	h := 6 + rng.Intn(3)
+	b := NewBuilder(fmt.Sprintf("rand_%dx%d", w, h), w, h)
+
+	// Device sites on odd interior coordinates so they never collide.
+	type site struct{ c grid.Coord }
+	var sites []site
+	for y := 1; y < h-1; y += 2 {
+		for x := 1; x < w-1; x += 2 {
+			sites = append(sites, site{grid.Coord{X: x, Y: y}})
+		}
+	}
+	rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+	nDev := 3 + rng.Intn(3)
+	if nDev > len(sites) {
+		nDev = len(sites)
+	}
+	var devCoords []grid.Coord
+	for i := 0; i < nDev; i++ {
+		kind := Mixer
+		name := fmt.Sprintf("M%d", i)
+		if i%3 == 2 || i == nDev-1 { // ensure at least one detector
+			kind = Detector
+			name = fmt.Sprintf("D%d", i)
+		}
+		b.AddDevice(kind, name, sites[i].c)
+		devCoords = append(devCoords, sites[i].c)
+	}
+
+	// Ports on the boundary, aligned with device rows/columns for easy
+	// wiring.
+	nPorts := 2 + rng.Intn(3)
+	var portCoords []grid.Coord
+	for i := 0; i < nPorts; i++ {
+		var c grid.Coord
+		switch i % 4 {
+		case 0:
+			c = grid.Coord{X: 0, Y: devCoords[i%len(devCoords)].Y}
+		case 1:
+			c = grid.Coord{X: w - 1, Y: devCoords[i%len(devCoords)].Y}
+		case 2:
+			c = grid.Coord{X: devCoords[i%len(devCoords)].X, Y: 0}
+		default:
+			c = grid.Coord{X: devCoords[i%len(devCoords)].X, Y: h - 1}
+		}
+		dup := false
+		for _, pc := range portCoords {
+			if pc == c {
+				dup = true
+			}
+		}
+		for _, dc := range devCoords {
+			if dc == c {
+				dup = true
+			}
+		}
+		if dup {
+			continue
+		}
+		b.AddPort(fmt.Sprintf("P%d", len(portCoords)), c)
+		portCoords = append(portCoords, c)
+	}
+	if len(portCoords) < 2 {
+		// Guarantee two ports.
+		for _, c := range []grid.Coord{{X: 0, Y: 1}, {X: w - 1, Y: h - 2}} {
+			dup := false
+			for _, pc := range portCoords {
+				if pc == c {
+					dup = true
+				}
+			}
+			if !dup {
+				b.AddPort(fmt.Sprintf("P%d", len(portCoords)), c)
+				portCoords = append(portCoords, c)
+			}
+		}
+	}
+
+	// Wire everything with L-shaped channels to the first device, forming
+	// a connected star/tree; then add a couple of extra links between
+	// random device pairs for redundancy.
+	used := map[[2]int]bool{} // occupied edges as node pairs
+	addL := func(from, to grid.Coord) {
+		// Walk horizontally then vertically, skipping already-used edges.
+		cur := from
+		var walk []grid.Coord
+		walk = append(walk, cur)
+		for cur.X != to.X {
+			if cur.X < to.X {
+				cur.X++
+			} else {
+				cur.X--
+			}
+			walk = append(walk, cur)
+		}
+		for cur.Y != to.Y {
+			if cur.Y < to.Y {
+				cur.Y++
+			} else {
+				cur.Y--
+			}
+			walk = append(walk, cur)
+		}
+		// Add each unit step as its own channel unless already occupied.
+		for i := 1; i < len(walk); i++ {
+			a, bb := walk[i-1], walk[i]
+			key := edgeKey(w, a, bb)
+			if used[key] {
+				continue
+			}
+			used[key] = true
+			b.AddChannel(a, bb)
+		}
+	}
+	hub := devCoords[0]
+	for _, dc := range devCoords[1:] {
+		addL(dc, hub)
+	}
+	for _, pc := range portCoords {
+		addL(pc, hub)
+	}
+	if len(devCoords) >= 3 && rng.Intn(2) == 0 {
+		addL(devCoords[1], devCoords[2])
+	}
+	return b.MustBuild()
+}
+
+func edgeKey(w int, a, b grid.Coord) [2]int {
+	na, nb := a.Y*w+a.X, b.Y*w+b.X
+	if na > nb {
+		na, nb = nb, na
+	}
+	return [2]int{na, nb}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/pso"
+	"repro/internal/sched"
+	"repro/internal/testgen"
+)
+
+// smallOpts keeps unit-test runtimes low; the experiment harness uses the
+// paper's 5x100 configuration.
+func smallOpts(seed int64) Options {
+	return Options{
+		Outer: pso.Config{Particles: 3, Iterations: 6},
+		Inner: pso.Config{Particles: 4, Iterations: 5},
+		Seed:  seed,
+	}
+}
+
+func TestFlowIVDOnIVD(t *testing.T) {
+	res, err := RunDFTFlow(chip.IVD(), assay.IVD(), smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumDFTValves <= 0 {
+		t.Fatal("no DFT valves added")
+	}
+	if res.NumShared != res.NumDFTValves {
+		t.Fatalf("shared %d of %d DFT valves; all must share (no extra control ports)", res.NumShared, res.NumDFTValves)
+	}
+	if res.Control.NumLines() != chip.IVD().NumOriginalValves() {
+		t.Fatalf("control lines = %d, want %d (original count)", res.Control.NumLines(), chip.IVD().NumOriginalValves())
+	}
+	if res.ExecOriginal <= 0 || res.ExecPSO <= 0 || res.ExecNoPSO <= 0 {
+		t.Fatalf("non-positive exec times: %+v", res)
+	}
+	// PSO sharing can only improve on the first-valid sharing.
+	if res.ExecPSO > res.ExecNoPSO {
+		t.Fatalf("PSO result %d worse than unoptimized %d", res.ExecPSO, res.ExecNoPSO)
+	}
+	if res.NumTestVectors != len(res.PathVectors)+len(res.CutVectors) {
+		t.Fatal("vector count mismatch")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("missing convergence trace")
+	}
+	t.Logf("IVD/IVD: orig=%d noPSO=%d pso=%d indep=%d dft=%d vectors=%d runtime=%v",
+		res.ExecOriginal, res.ExecNoPSO, res.ExecPSO, res.ExecIndependent,
+		res.NumDFTValves, res.NumTestVectors, res.Runtime)
+}
+
+// The headline property: the returned architecture + sharing + vectors
+// achieve full fault coverage with a single source and a single meter.
+func TestFlowFullCoverageSingleSourceSingleMeter(t *testing.T) {
+	res, err := RunDFTFlow(chip.IVD(), assay.IVD(), smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := fault.NewSimulator(res.Aug.Chip, res.Control)
+	vectors := append(append([]fault.Vector{}, res.PathVectors...), res.CutVectors...)
+	cov := sim.EvaluateCoverage(vectors, fault.AllFaults(res.Aug.Chip))
+	if !cov.Full() {
+		t.Fatalf("coverage %v under returned sharing; undetected: %v", cov, cov.Undetected)
+	}
+	for _, v := range vectors {
+		if len(v.Sources) != 1 || len(v.Meters) != 1 {
+			t.Fatalf("vector needs multiple instruments: %v", v)
+		}
+		if v.Sources[0] != res.Aug.Source || v.Meters[0] != res.Aug.Meter {
+			t.Fatalf("vector uses wrong ports: %v", v)
+		}
+	}
+}
+
+// The returned schedule quality must equal an actual scheduler run.
+func TestFlowExecTimeReproducible(t *testing.T) {
+	res, err := RunDFTFlow(chip.IVD(), assay.IVD(), smallOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, ok := sched.ExecutionTime(res.Aug.Chip, res.Control, assay.IVD(), Options{}.Sched)
+	if !ok {
+		t.Fatal("returned sharing unschedulable")
+	}
+	if et != res.ExecPSO {
+		t.Fatalf("re-run exec %d != reported %d", et, res.ExecPSO)
+	}
+}
+
+func TestFlowDeterministicForSeed(t *testing.T) {
+	a, err := RunDFTFlow(chip.IVD(), assay.IVD(), smallOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDFTFlow(chip.IVD(), assay.IVD(), smallOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecPSO != b.ExecPSO || a.NumDFTValves != b.NumDFTValves {
+		t.Fatalf("nondeterministic flow: (%d,%d) vs (%d,%d)", a.ExecPSO, a.NumDFTValves, b.ExecPSO, b.NumDFTValves)
+	}
+}
+
+func TestTraceNonIncreasing(t *testing.T) {
+	res, err := RunDFTFlow(chip.RA30(), assay.IVD(), smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i] > res.Trace[i-1]+1e-9 {
+			t.Fatalf("trace increased at %d: %v -> %v", i, res.Trace[i-1], res.Trace[i])
+		}
+	}
+	if math.IsInf(res.Trace[len(res.Trace)-1], 1) {
+		t.Fatal("final trace entry is ∞; flow should have failed instead")
+	}
+}
+
+func TestDecodePartnersInjective(t *testing.T) {
+	c := chip.IVD()
+	for e, added := 0, 0; e < c.Grid.NumEdges() && added < 5; e++ {
+		if _, occ := c.ValveOnEdge(e); !occ {
+			if _, err := c.AddDFTChannel(e); err != nil {
+				t.Fatal(err)
+			}
+			added++
+		}
+	}
+	f := &flow{orig: c}
+	x := []float64{0.1, 0.1, 0.1, 0.9, 0.9} // deliberate collisions
+	partners := f.decodePartners(c, x)
+	seen := map[int]bool{}
+	for _, p := range partners {
+		if p < 0 || p >= c.NumOriginalValves() {
+			t.Fatalf("partner %d out of range", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate partner %d in %v", p, partners)
+		}
+		seen[p] = true
+	}
+}
+
+func TestFirstValidSharingRotation(t *testing.T) {
+	c := chip.IVD()
+	g := assay.IVD()
+	aug, err := testgen.AugmentHeuristic(c, testgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flow{
+		orig: c, graph: g, opts: Options{}.withDefaults(),
+		augCache:   map[string]*augEval{},
+		innerCache: map[evalCacheKey]float64{},
+	}
+	ev := f.evalAug(aug)
+	if ev.cutsErr != nil {
+		t.Fatal(ev.cutsErr)
+	}
+	et, partners, err := f.firstValidSharing(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et <= 0 || len(partners) != aug.Chip.NumDFTValves() {
+		t.Fatalf("et=%d partners=%v", et, partners)
+	}
+}

@@ -1,0 +1,258 @@
+// Package fault implements the paper's fault model for continuous-flow
+// biochips and a pressure-propagation simulator used to validate test
+// vectors, compute fault coverage, and detect the masking effects of valve
+// sharing (Fig. 6 of the paper).
+//
+// Fault model (Section 2):
+//
+//   - stuck-at-0: a valve that cannot open, or a blocked channel. Since
+//     every channel edge is guarded by exactly one valve, both manifest as
+//     "this edge never conducts pressure".
+//   - stuck-at-1: a valve that cannot close; the edge always conducts.
+//   - leakage (extension, mentioned but not evaluated in the paper): a
+//     defective membrane lets pressure cross a closed valve. Observationally
+//     identical to stuck-at-1 in the pressure abstraction, but reported as
+//     its own class.
+//
+// Pressure is simulated as reachability: air applied at source ports
+// propagates through every channel edge whose valve is open; a meter reads
+// "pressure" iff its port node is reachable from any source.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+)
+
+// Kind classifies manufacturing defects.
+type Kind int
+
+// Defect kinds.
+const (
+	StuckAt0 Kind = iota // valve cannot open / channel blocked
+	StuckAt1             // valve cannot close
+	Leakage              // pressure leaks across a closed valve (extension)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	case Leakage:
+		return "leakage"
+	}
+	return "unknown"
+}
+
+// Fault is a single defect at a valve.
+type Fault struct {
+	Kind  Kind
+	Valve int
+}
+
+func (f Fault) String() string { return fmt.Sprintf("%v@v%d", f.Kind, f.Valve) }
+
+// AllFaults enumerates the stuck-at-0 and stuck-at-1 faults of every valve
+// (the fault list the paper's test sets must cover).
+func AllFaults(c *chip.Chip) []Fault {
+	return AllFaultsOfKinds(c, StuckAt0, StuckAt1)
+}
+
+// AllFaultsOfKinds enumerates faults of the given kinds for every valve.
+// Passing Leakage extends the campaign to the membrane-leakage defects the
+// paper mentions but does not evaluate; in the pressure abstraction they
+// behave like stuck-at-1 and are covered by the same cut vectors.
+func AllFaultsOfKinds(c *chip.Chip, kinds ...Kind) []Fault {
+	out := make([]Fault, 0, len(kinds)*c.NumValves())
+	for _, k := range kinds {
+		for v := 0; v < c.NumValves(); v++ {
+			out = append(out, Fault{Kind: k, Valve: v})
+		}
+	}
+	return out
+}
+
+// VectorKind distinguishes the two test vector families.
+type VectorKind int
+
+// Vector kinds: a path vector opens one source→meter path (detects
+// stuck-at-0 on its valves); a cut vector closes a separating valve set
+// (detects stuck-at-1 on its valves).
+const (
+	PathVector VectorKind = iota
+	CutVector
+)
+
+func (k VectorKind) String() string {
+	if k == PathVector {
+		return "path"
+	}
+	return "cut"
+}
+
+// Vector is one test vector. Valves lists the distinguished set: for a
+// PathVector the valves driven open (everything else is driven closed);
+// for a CutVector the valves driven closed (everything else driven open).
+// Sources and Meters are port IDs. Single-source single-meter DFT vectors
+// have exactly one of each; the multi-instrument baseline may use several.
+type Vector struct {
+	Kind    VectorKind
+	Valves  []int
+	Sources []int
+	Meters  []int
+}
+
+func (v Vector) String() string {
+	return fmt.Sprintf("%v vector: %d valves, src %v, meters %v", v.Kind, len(v.Valves), v.Sources, v.Meters)
+}
+
+// Simulator evaluates test vectors on a chip under a control assignment.
+// The control assignment captures valve sharing: intended valve states are
+// expanded to actual states line by line before simulation.
+type Simulator struct {
+	chip *chip.Chip
+	ctrl *chip.Control
+}
+
+// NewSimulator returns a simulator for the chip under the given control
+// layer. Pass chip.IndependentControl for a sharing-free chip.
+func NewSimulator(c *chip.Chip, ctrl *chip.Control) *Simulator {
+	if ctrl.Chip() != c {
+		panic("fault: control assignment belongs to a different chip")
+	}
+	return &Simulator{chip: c, ctrl: ctrl}
+}
+
+// Chip returns the chip under simulation.
+func (s *Simulator) Chip() *chip.Chip { return s.chip }
+
+// OpenStates computes the actual fault-free valve states when vector v is
+// applied, including valves forced by control sharing.
+func (s *Simulator) OpenStates(v Vector) []bool {
+	intended := make([]bool, s.chip.NumValves())
+	for _, val := range v.Valves {
+		intended[val] = true
+	}
+	if v.Kind == PathVector {
+		return s.ctrl.ExpandOpen(intended)
+	}
+	return s.ctrl.ExpandClosed(intended)
+}
+
+// withFault returns the states with fault f injected.
+func withFault(open []bool, f Fault) []bool {
+	out := append([]bool(nil), open...)
+	switch f.Kind {
+	case StuckAt0:
+		out[f.Valve] = false
+	case StuckAt1, Leakage:
+		out[f.Valve] = true
+	}
+	return out
+}
+
+// meterReadings returns, for each meter in v, whether it reads pressure
+// under the given valve states.
+func (s *Simulator) meterReadings(v Vector, open []bool) []bool {
+	out := make([]bool, len(v.Meters))
+	for i, m := range v.Meters {
+		mNode := s.chip.Ports[m].Node
+		for _, src := range v.Sources {
+			if s.chip.PressureReachable(s.chip.Ports[src].Node, mNode, open) {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FaultFreeOK reports whether the vector behaves as specified on a
+// defect-free chip: a path vector must deliver pressure to every meter; a
+// cut vector must isolate every meter from every source. A vector that
+// fails this check is unusable (e.g. sharing forced open a valve that
+// bypasses a cut).
+func (s *Simulator) FaultFreeOK(v Vector) bool {
+	readings := s.meterReadings(v, s.OpenStates(v))
+	for _, r := range readings {
+		if v.Kind == PathVector && !r {
+			return false
+		}
+		if v.Kind == CutVector && r {
+			return false
+		}
+	}
+	return len(readings) > 0
+}
+
+// Detects reports whether vector v detects fault f: some meter reading
+// differs between the defect-free chip and the faulty chip. This general
+// definition automatically accounts for sharing-induced masking — if a
+// forced-open partner valve provides a bypass around a stuck-at-0 valve,
+// or a forced-closed partner blocks the leak path of a stuck-at-1 valve,
+// the readings do not differ and the fault goes undetected.
+func (s *Simulator) Detects(v Vector, f Fault) bool {
+	base := s.OpenStates(v)
+	good := s.meterReadings(v, base)
+	bad := s.meterReadings(v, withFault(base, f))
+	for i := range good {
+		if good[i] != bad[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Coverage summarizes a fault-simulation campaign.
+type Coverage struct {
+	Total      int
+	Detected   int
+	Undetected []Fault
+}
+
+// Full reports whether every fault was detected.
+func (c Coverage) Full() bool { return c.Detected == c.Total }
+
+// Ratio returns detected/total in [0,1].
+func (c Coverage) Ratio() float64 {
+	if c.Total == 0 {
+		return 1
+	}
+	return float64(c.Detected) / float64(c.Total)
+}
+
+func (c Coverage) String() string {
+	return fmt.Sprintf("coverage %d/%d (%.1f%%)", c.Detected, c.Total, 100*c.Ratio())
+}
+
+// EvaluateCoverage fault-simulates every (vector, fault) pair and returns
+// the aggregate coverage. Vectors that fail FaultFreeOK contribute no
+// detections (a vector that misbehaves on a good chip would reject good
+// chips, so it must not be counted on).
+func (s *Simulator) EvaluateCoverage(vectors []Vector, faults []Fault) Coverage {
+	cov := Coverage{Total: len(faults)}
+	usable := make([]Vector, 0, len(vectors))
+	for _, v := range vectors {
+		if s.FaultFreeOK(v) {
+			usable = append(usable, v)
+		}
+	}
+	for _, f := range faults {
+		detected := false
+		for _, v := range usable {
+			if s.Detects(v, f) {
+				detected = true
+				break
+			}
+		}
+		if detected {
+			cov.Detected++
+		} else {
+			cov.Undetected = append(cov.Undetected, f)
+		}
+	}
+	return cov
+}

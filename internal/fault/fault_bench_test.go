@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// benchVectors builds an all-open path vector plus one single-valve cut
+// per port-adjacent valve — a representative small campaign.
+func benchVectors(c *chip.Chip) []Vector {
+	var all []int
+	for v := 0; v < c.NumValves(); v++ {
+		all = append(all, v)
+	}
+	vectors := []Vector{{Kind: PathVector, Valves: all, Sources: []int{0}, Meters: []int{1}}}
+	for _, p := range c.Ports {
+		for _, e := range c.Grid.IncidentEdges(p.Node) {
+			if v, ok := c.ValveOnEdge(e); ok {
+				vectors = append(vectors, Vector{Kind: CutVector, Valves: []int{v}, Sources: []int{0}, Meters: []int{1}})
+			}
+		}
+	}
+	return vectors
+}
+
+func BenchmarkFaultCampaignIVD(b *testing.B) {
+	c := chip.IVD()
+	sim := NewSimulator(c, chip.IndependentControl(c))
+	vectors := benchVectors(c)
+	faults := AllFaults(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.EvaluateCoverage(vectors, faults)
+	}
+}
+
+func BenchmarkFaultCampaignMRNA(b *testing.B) {
+	c := chip.MRNA()
+	sim := NewSimulator(c, chip.IndependentControl(c))
+	vectors := benchVectors(c)
+	faults := AllFaults(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.EvaluateCoverage(vectors, faults)
+	}
+}
+
+func BenchmarkSingleDetect(b *testing.B) {
+	c := chip.MRNA()
+	sim := NewSimulator(c, chip.IndependentControl(c))
+	v := benchVectors(c)[0]
+	f := Fault{Kind: StuckAt0, Valve: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Detects(v, f)
+	}
+}

@@ -1,0 +1,277 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/grid"
+)
+
+// pathVectorBetween builds a path vector along the shortest channel path
+// between two ports of c.
+func pathVectorBetween(t *testing.T, c *chip.Chip, src, dst int) Vector {
+	t.Helper()
+	g := c.Grid.Graph()
+	_, edges, ok := g.ShortestPath(c.Ports[src].Node, c.Ports[dst].Node, func(e int) bool {
+		_, valved := c.ValveOnEdge(e)
+		return valved
+	})
+	if !ok {
+		t.Fatalf("no channel path between ports %d and %d", src, dst)
+	}
+	var valves []int
+	for _, e := range edges {
+		v, _ := c.ValveOnEdge(e)
+		valves = append(valves, v)
+	}
+	return Vector{Kind: PathVector, Valves: valves, Sources: []int{src}, Meters: []int{dst}}
+}
+
+func indepSim(c *chip.Chip) *Simulator {
+	return NewSimulator(c, chip.IndependentControl(c))
+}
+
+func TestPathVectorFaultFree(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	v := pathVectorBetween(t, c, 0, 2)
+	if !s.FaultFreeOK(v) {
+		t.Fatal("good chip must pass a valid path vector")
+	}
+}
+
+func TestPathVectorDetectsStuckAt0OnPath(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	v := pathVectorBetween(t, c, 0, 2)
+	for _, valve := range v.Valves {
+		if !s.Detects(v, Fault{Kind: StuckAt0, Valve: valve}) {
+			t.Errorf("stuck-at-0 on path valve %d undetected", valve)
+		}
+	}
+}
+
+func TestPathVectorMissesStuckAt0OffPath(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	v := pathVectorBetween(t, c, 0, 2)
+	onPath := make(map[int]bool)
+	for _, valve := range v.Valves {
+		onPath[valve] = true
+	}
+	for valve := 0; valve < c.NumValves(); valve++ {
+		if onPath[valve] {
+			continue
+		}
+		if s.Detects(v, Fault{Kind: StuckAt0, Valve: valve}) {
+			t.Errorf("stuck-at-0 on off-path valve %d should be invisible to this path", valve)
+		}
+	}
+}
+
+func TestPathVectorMissesStuckAt1(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	v := pathVectorBetween(t, c, 0, 2)
+	for valve := 0; valve < c.NumValves(); valve++ {
+		if s.Detects(v, Fault{Kind: StuckAt1, Valve: valve}) {
+			t.Errorf("path vectors cannot detect stuck-at-1 (valve %d)", valve)
+		}
+	}
+}
+
+func TestCutVectorDetectsStuckAt1(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	// Port P0's single incident channel edge forms a minimal cut.
+	var v0 int = -1
+	for _, e := range c.Grid.IncidentEdges(c.Ports[0].Node) {
+		if valve, ok := c.ValveOnEdge(e); ok {
+			v0 = valve
+		}
+	}
+	if v0 < 0 {
+		t.Fatal("port P0 has no incident valve")
+	}
+	cut := Vector{Kind: CutVector, Valves: []int{v0}, Sources: []int{0}, Meters: []int{1}}
+	if !s.FaultFreeOK(cut) {
+		t.Fatal("cut must isolate source from meter on a good chip")
+	}
+	if !s.Detects(cut, Fault{Kind: StuckAt1, Valve: v0}) {
+		t.Fatal("stuck-at-1 on the cut valve must leak pressure and be detected")
+	}
+	if !s.Detects(cut, Fault{Kind: Leakage, Valve: v0}) {
+		t.Fatal("leakage behaves like stuck-at-1 and must be detected")
+	}
+}
+
+func TestCutVectorRejectedWhenNotSeparating(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	// A cut of one interior valve does not separate P0 from P2 if a bypass
+	// exists. Use a valve on the D1 side, which leaves P0->M1->M2->P2 open.
+	path := pathVectorBetween(t, c, 0, 2)
+	onPath := make(map[int]bool)
+	for _, valve := range path.Valves {
+		onPath[valve] = true
+	}
+	var off int = -1
+	for valve := 0; valve < c.NumValves(); valve++ {
+		if !onPath[valve] {
+			off = valve
+			break
+		}
+	}
+	cut := Vector{Kind: CutVector, Valves: []int{off}, Sources: []int{0}, Meters: []int{2}}
+	if s.FaultFreeOK(cut) {
+		t.Fatal("non-separating cut must fail the fault-free check")
+	}
+}
+
+func TestAllFaultsEnumeration(t *testing.T) {
+	c := chip.IVD()
+	fs := AllFaults(c)
+	if len(fs) != 2*c.NumValves() {
+		t.Fatalf("faults = %d, want %d", len(fs), 2*c.NumValves())
+	}
+	n0, n1 := 0, 0
+	for _, f := range fs {
+		switch f.Kind {
+		case StuckAt0:
+			n0++
+		case StuckAt1:
+			n1++
+		}
+	}
+	if n0 != c.NumValves() || n1 != c.NumValves() {
+		t.Fatalf("stuck0=%d stuck1=%d", n0, n1)
+	}
+}
+
+func TestCoverageAggregation(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	v := pathVectorBetween(t, c, 0, 2)
+	faults := []Fault{
+		{Kind: StuckAt0, Valve: v.Valves[0]}, // detectable
+		{Kind: StuckAt1, Valve: v.Valves[0]}, // not detectable by a path
+	}
+	cov := s.EvaluateCoverage([]Vector{v}, faults)
+	if cov.Total != 2 || cov.Detected != 1 || len(cov.Undetected) != 1 {
+		t.Fatalf("coverage = %+v", cov)
+	}
+	if cov.Full() {
+		t.Fatal("coverage must not be full")
+	}
+	if cov.Ratio() != 0.5 {
+		t.Fatalf("ratio = %v", cov.Ratio())
+	}
+	if !strings.Contains(cov.String(), "1/2") {
+		t.Fatalf("String = %q", cov.String())
+	}
+}
+
+func TestCoverageSkipsUnusableVectors(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	// Fabricate a broken path vector (opens nothing).
+	broken := Vector{Kind: PathVector, Valves: nil, Sources: []int{0}, Meters: []int{2}}
+	cov := s.EvaluateCoverage([]Vector{broken}, AllFaults(c))
+	if cov.Detected != 0 {
+		t.Fatalf("unusable vector produced %d detections", cov.Detected)
+	}
+}
+
+func TestEmptyFaultListIsFullCoverage(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	cov := s.EvaluateCoverage(nil, nil)
+	if !cov.Full() || cov.Ratio() != 1 {
+		t.Fatalf("empty campaign: %+v", cov)
+	}
+}
+
+// Valve-sharing masking, the scenario of Fig. 6: closing a test cut forces
+// a shared partner valve closed as well; the partner sits on the leak path
+// that would have revealed a stuck-at-1 defect, so the defect is masked.
+func TestSharingMasksCutDetection(t *testing.T) {
+	// Chip: P0(0,0) -v0- M(1,0) -v1- (2,0) -v2- P1(3,0), plus one DFT stub
+	// edge v3 at (1,0)-(1,1).
+	b := chip.NewBuilder("mask", 4, 3)
+	b.AddDevice(chip.Mixer, "M", chipXY(1, 0))
+	b.AddPort("P0", chipXY(0, 0))
+	b.AddPort("P1", chipXY(3, 0))
+	b.AddChannel(chipXY(0, 0), chipXY(1, 0), chipXY(2, 0), chipXY(3, 0)) // v0 v1 v2
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Grid.EdgeBetweenCoords(chipXY(1, 0), chipXY(1, 1))
+	if !ok {
+		t.Fatal("missing grid edge")
+	}
+	if _, err := c.AddDFTChannel(e); err != nil {
+		t.Fatal(err)
+	}
+	// Share DFT valve v3 with original v2 and apply cut {v1, v3}. Closing
+	// v3 forces v2 closed on the same line. The cut still separates
+	// (fault-free OK), but stuck-at-1 on v1 is masked: its leak path
+	// P0-v0-v1-v2-P1 is blocked at the forced-closed v2.
+	ctrl, err := chip.SharedControl(c, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewSimulator(c, ctrl)
+	cut := Vector{Kind: CutVector, Valves: []int{1, 3}, Sources: []int{0}, Meters: []int{1}}
+	if !shared.FaultFreeOK(cut) {
+		t.Fatal("cut must still separate under sharing")
+	}
+	if shared.Detects(cut, Fault{Kind: StuckAt1, Valve: 1}) {
+		t.Fatal("sharing should mask stuck-at-1 on v1 for this cut")
+	}
+	// The same fault IS detected with independent control.
+	indep := NewSimulator(c, chip.IndependentControl(c))
+	if !indep.FaultFreeOK(cut) {
+		t.Fatal("cut must separate under independent control")
+	}
+	if !indep.Detects(cut, Fault{Kind: StuckAt1, Valve: 1}) {
+		t.Fatal("independent control must detect the fault")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if StuckAt0.String() != "stuck-at-0" || StuckAt1.String() != "stuck-at-1" || Leakage.String() != "leakage" {
+		t.Fatal("Kind strings")
+	}
+	if Kind(9).String() != "unknown" {
+		t.Fatal("unknown Kind")
+	}
+	f := Fault{Kind: StuckAt0, Valve: 3}
+	if f.String() != "stuck-at-0@v3" {
+		t.Fatalf("Fault.String = %q", f.String())
+	}
+	v := Vector{Kind: PathVector, Valves: []int{1, 2}, Sources: []int{0}, Meters: []int{1}}
+	if !strings.Contains(v.String(), "path vector") {
+		t.Fatalf("Vector.String = %q", v.String())
+	}
+	if CutVector.String() != "cut" {
+		t.Fatal("VectorKind string")
+	}
+}
+
+func TestMultiMeterVector(t *testing.T) {
+	c := chip.IVD()
+	s := indepSim(c)
+	// Open everything: pressure from P0 reaches both P1 and P2.
+	var all []int
+	for v := 0; v < c.NumValves(); v++ {
+		all = append(all, v)
+	}
+	v := Vector{Kind: PathVector, Valves: all, Sources: []int{0}, Meters: []int{1, 2}}
+	if !s.FaultFreeOK(v) {
+		t.Fatal("all-open vector must pressurize both meters")
+	}
+}
+
+func chipXY(x, y int) grid.Coord { return grid.Coord{X: x, Y: y} }

@@ -1,0 +1,133 @@
+package graphalg
+
+import "sort"
+
+// EdgeSubgraphComponents partitions an edge subset into connected components.
+// It returns one slice of edge IDs per component (components of isolated
+// nodes are not reported). The input order of edge IDs is irrelevant; the
+// output components and their edge lists are sorted for determinism.
+func (g *Graph) EdgeSubgraphComponents(edgeIDs []int) [][]int {
+	inSet := make(map[int]bool, len(edgeIDs))
+	for _, e := range edgeIDs {
+		inSet[e] = true
+	}
+	seen := make(map[int]bool, len(edgeIDs))
+	var comps [][]int
+	for _, start := range edgeIDs {
+		if seen[start] {
+			continue
+		}
+		// BFS over edges via shared endpoints.
+		comp := []int{start}
+		seen[start] = true
+		queue := []int{start}
+		for len(queue) > 0 {
+			e := queue[0]
+			queue = queue[1:]
+			u, v := g.Endpoints(e)
+			for _, n := range [2]int{u, v} {
+				for _, a := range g.adj[n] {
+					if inSet[a.Edge] && !seen[a.Edge] {
+						seen[a.Edge] = true
+						comp = append(comp, a.Edge)
+						queue = append(queue, a.Edge)
+					}
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// PathDecomposition takes an edge set that is supposed to form one simple
+// s-t path and splits it into the component that actually connects s to t
+// (mainPath, in order from s) plus any disconnected extra components
+// (typically cycles produced by degree-constrained ILP solutions). ok is
+// false when no component connects s and t at all.
+//
+// This is the primitive behind lazy loop exclusion in the test-path ILP:
+// the solver's degree constraints (eqs. (1)-(2) of the paper) admit an s-t
+// path plus disjoint 2-regular cycles; the caller cuts the cycles off with
+// additional constraints, as in ref. [16].
+func (g *Graph) PathDecomposition(s, t int, edgeIDs []int) (mainPath []int, extras [][]int, ok bool) {
+	comps := g.EdgeSubgraphComponents(edgeIDs)
+	mainIdx := -1
+	for i, comp := range comps {
+		touchesS, touchesT := false, false
+		for _, e := range comp {
+			u, v := g.Endpoints(e)
+			if u == s || v == s {
+				touchesS = true
+			}
+			if u == t || v == t {
+				touchesT = true
+			}
+		}
+		if touchesS && touchesT {
+			mainIdx = i
+			break
+		}
+	}
+	if mainIdx < 0 {
+		return nil, comps, false
+	}
+	for i, comp := range comps {
+		if i != mainIdx {
+			extras = append(extras, comp)
+		}
+	}
+	// Order the main component's edges by walking from s.
+	mainSet := make(map[int]bool, len(comps[mainIdx]))
+	for _, e := range comps[mainIdx] {
+		mainSet[e] = true
+	}
+	cur := s
+	used := make(map[int]bool, len(mainSet))
+	for len(mainPath) < len(mainSet) {
+		advanced := false
+		for _, a := range g.adj[cur] {
+			if mainSet[a.Edge] && !used[a.Edge] {
+				used[a.Edge] = true
+				mainPath = append(mainPath, a.Edge)
+				cur = a.To
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break // not a simple walk; return what we ordered
+		}
+	}
+	return mainPath, extras, true
+}
+
+// IsSimplePath reports whether edgeIDs form one simple path from s to t:
+// connected, every interior node has degree 2 within the set, and s and t
+// have degree 1.
+func (g *Graph) IsSimplePath(s, t int, edgeIDs []int) bool {
+	if len(edgeIDs) == 0 {
+		return false
+	}
+	deg := make(map[int]int)
+	for _, e := range edgeIDs {
+		u, v := g.Endpoints(e)
+		deg[u]++
+		deg[v]++
+	}
+	if deg[s] != 1 || deg[t] != 1 {
+		return false
+	}
+	for n, d := range deg {
+		if n == s || n == t {
+			continue
+		}
+		if d != 2 {
+			return false
+		}
+	}
+	comps := g.EdgeSubgraphComponents(edgeIDs)
+	return len(comps) == 1
+}

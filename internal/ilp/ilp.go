@@ -1,0 +1,235 @@
+// Package ilp implements a 0-1 integer linear programming solver by
+// branch and bound over the LP relaxation from package lp.
+//
+// The test-path generation ILP of the DAC'18 DFT paper (eqs. (1)-(6)) is a
+// pure 0-1 program whose degree constraints admit spurious disjoint cycles;
+// the paper removes them lazily with the technique of ref. [16]. The solver
+// therefore supports lazy constraints: whenever an integer-feasible point is
+// found, a callback may reject it by returning additional constraints,
+// which are added to the model before the search continues.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Model wraps an lp.Problem whose variables are all binary (bounds must be
+// within [0,1]); Solve enforces integrality on every variable.
+type Model struct {
+	P *lp.Problem
+}
+
+// NewModel returns a model over the given problem. All variables are
+// treated as binaries.
+func NewModel(p *lp.Problem) *Model { return &Model{P: p} }
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes (0 = default).
+	MaxNodes int
+	// TimeLimit caps wall-clock time (0 = no limit).
+	TimeLimit time.Duration
+	// Lazy, if non-nil, is invoked on every integer-feasible candidate. It
+	// returns constraints violated by the candidate; returning none accepts
+	// the candidate as feasible. Added constraints apply globally.
+	Lazy func(x []float64) []lp.Constraint
+	// IncumbentObj primes the search with a known objective bound
+	// (for minimization: an upper bound). Use math.Inf(1) or leave the
+	// zero Options value for "none".
+	IncumbentObj float64
+	// IncumbentX optionally carries the solution achieving IncumbentObj.
+	IncumbentX []float64
+}
+
+// DefaultMaxNodes bounds the search when Options.MaxNodes is zero.
+const DefaultMaxNodes = 20000
+
+// Result is the outcome of an ILP solve.
+type Result struct {
+	Status   Status
+	X        []float64 // integral values (0/1) when Status is Optimal or Feasible
+	Obj      float64
+	Nodes    int // branch-and-bound nodes explored
+	LazyCuts int // lazy constraints added during the search
+}
+
+// Status classifies an ILP result.
+type Status int
+
+// ILP statuses. Feasible means the node/time budget expired with an
+// incumbent in hand but optimality unproven.
+const (
+	Optimal Status = iota
+	Feasible
+	Infeasible
+	Aborted // budget expired with no incumbent
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Aborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+const intTol = 1e-6
+
+// Solve runs depth-first branch and bound and returns the best integral
+// solution found.
+func (m *Model) Solve(opts Options) (Result, error) {
+	n := m.P.NumVars()
+	for i := 0; i < n; i++ {
+		lb, ub := m.P.Bounds(i)
+		if lb < -intTol || ub > 1+intTol {
+			return Result{}, fmt.Errorf("ilp: variable %d has non-binary bounds [%g,%g]", i, lb, ub)
+		}
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	sign := 1.0
+	if m.P.Sense() == lp.Maximize {
+		sign = -1 // compare in minimize space
+	}
+	bestObj := math.Inf(1)
+	var bestX []float64
+	if opts.IncumbentX != nil {
+		bestObj = sign * opts.IncumbentObj
+		bestX = append([]float64(nil), opts.IncumbentX...)
+	} else if opts.IncumbentObj != 0 && !math.IsInf(opts.IncumbentObj, 0) {
+		bestObj = sign * opts.IncumbentObj
+	}
+
+	type node struct {
+		fixedVar []int
+		fixedVal []float64
+	}
+	stack := []node{{}}
+	res := Result{}
+
+	baseOv := m.P.DefaultOverrides()
+	for len(stack) > 0 {
+		if res.Nodes >= maxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		ov := make([][2]float64, n)
+		copy(ov, baseOv)
+		for i, v := range nd.fixedVar {
+			ov[v] = [2]float64{nd.fixedVal[i], nd.fixedVal[i]}
+		}
+		sol, err := m.P.Solve(ov)
+		if err != nil {
+			return res, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return res, errors.New("ilp: LP relaxation unbounded (binary model should be bounded)")
+		case lp.IterLimit:
+			continue // treat as prune; rare
+		}
+		relax := sign * sol.Obj
+		if relax >= bestObj-1e-9 {
+			continue // bound prune
+		}
+		frac := mostFractional(sol.X)
+		if frac < 0 {
+			// Integer feasible. Round to exact binaries.
+			x := roundBinary(sol.X)
+			if opts.Lazy != nil {
+				cuts := opts.Lazy(x)
+				if len(cuts) > 0 {
+					for _, c := range cuts {
+						m.P.AddConstraint(c)
+					}
+					res.LazyCuts += len(cuts)
+					// Re-explore this node under the new constraints.
+					stack = append(stack, nd)
+					continue
+				}
+			}
+			bestObj = relax
+			bestX = x
+			continue
+		}
+		// Branch: explore the rounding-nearest child last so DFS visits it
+		// first (stack order).
+		v := frac
+		if sol.X[v] >= 0.5 {
+			stack = append(stack, node{append(append([]int(nil), nd.fixedVar...), v), append(append([]float64(nil), nd.fixedVal...), 0)})
+			stack = append(stack, node{append(append([]int(nil), nd.fixedVar...), v), append(append([]float64(nil), nd.fixedVal...), 1)})
+		} else {
+			stack = append(stack, node{append(append([]int(nil), nd.fixedVar...), v), append(append([]float64(nil), nd.fixedVal...), 1)})
+			stack = append(stack, node{append(append([]int(nil), nd.fixedVar...), v), append(append([]float64(nil), nd.fixedVal...), 0)})
+		}
+	}
+
+	exhausted := len(stack) == 0
+	if bestX == nil {
+		if exhausted {
+			res.Status = Infeasible
+		} else {
+			res.Status = Aborted
+		}
+		return res, nil
+	}
+	res.X = bestX
+	res.Obj = sign * bestObj
+	if exhausted {
+		res.Status = Optimal
+	} else {
+		res.Status = Feasible
+	}
+	return res, nil
+}
+
+// mostFractional returns the index of the variable farthest from an
+// integer, or -1 if all are integral within tolerance.
+func mostFractional(x []float64) int {
+	best := -1
+	bestDist := intTol
+	for i, v := range x {
+		f := math.Abs(v - math.Round(v))
+		if f > bestDist {
+			bestDist = f
+			best = i
+		}
+	}
+	return best
+}
+
+func roundBinary(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}

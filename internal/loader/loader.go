@@ -1,0 +1,211 @@
+// Package loader reads chip architectures and bioassay sequencing graphs
+// from JSON, so custom designs can be fed to the DFT flow without
+// recompiling. The schemas mirror the builder APIs:
+//
+//	chip JSON:
+//	  {"name":"my_chip","grid_w":6,"grid_h":6,
+//	   "devices":[{"name":"M1","kind":"mixer","x":1,"y":1}, ...],
+//	   "ports":[{"name":"P0","x":0,"y":1}, ...],
+//	   "channels":[[[0,1],[1,1]], [[1,1],[2,1],[3,1]], ...]}
+//
+//	assay JSON:
+//	  {"name":"my_assay",
+//	   "ops":[{"name":"mix1","kind":"mix","duration":60}, ...],
+//	   "deps":[[0,2],[1,2], ...]}   // indices into ops
+package loader
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/grid"
+)
+
+// ChipSpec is the JSON schema of a chip architecture.
+type ChipSpec struct {
+	Name     string       `json:"name"`
+	GridW    int          `json:"grid_w"`
+	GridH    int          `json:"grid_h"`
+	Devices  []DeviceSpec `json:"devices"`
+	Ports    []PortSpec   `json:"ports"`
+	Channels [][][2]int   `json:"channels"` // walks of [x,y] coordinates
+}
+
+// DeviceSpec is one device.
+type DeviceSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // mixer | detector | heater | filter
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+}
+
+// PortSpec is one boundary port.
+type PortSpec struct {
+	Name string `json:"name"`
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+}
+
+// AssaySpec is the JSON schema of a sequencing graph.
+type AssaySpec struct {
+	Name string   `json:"name"`
+	Ops  []OpSpec `json:"ops"`
+	Deps [][2]int `json:"deps"`
+}
+
+// OpSpec is one operation.
+type OpSpec struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"` // dispense | mix | detect
+	Duration int    `json:"duration"`
+}
+
+// ReadChip decodes and builds a chip from JSON.
+func ReadChip(r io.Reader) (*chip.Chip, error) {
+	var spec ChipSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("loader: chip JSON: %w", err)
+	}
+	return BuildChip(spec)
+}
+
+// BuildChip constructs a chip from a decoded spec.
+func BuildChip(spec ChipSpec) (*chip.Chip, error) {
+	if spec.GridW < 2 || spec.GridH < 2 {
+		return nil, fmt.Errorf("loader: chip %q: grid %dx%d too small", spec.Name, spec.GridW, spec.GridH)
+	}
+	inBounds := func(x, y int) bool {
+		return x >= 0 && x < spec.GridW && y >= 0 && y < spec.GridH
+	}
+	b := chip.NewBuilder(spec.Name, spec.GridW, spec.GridH)
+	for _, d := range spec.Devices {
+		kind, err := deviceKind(d.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("loader: device %q: %w", d.Name, err)
+		}
+		if !inBounds(d.X, d.Y) {
+			return nil, fmt.Errorf("loader: device %q at (%d,%d) outside %dx%d grid", d.Name, d.X, d.Y, spec.GridW, spec.GridH)
+		}
+		b.AddDevice(kind, d.Name, grid.Coord{X: d.X, Y: d.Y})
+	}
+	for _, p := range spec.Ports {
+		if !inBounds(p.X, p.Y) {
+			return nil, fmt.Errorf("loader: port %q at (%d,%d) outside %dx%d grid", p.Name, p.X, p.Y, spec.GridW, spec.GridH)
+		}
+		b.AddPort(p.Name, grid.Coord{X: p.X, Y: p.Y})
+	}
+	for i, walk := range spec.Channels {
+		if len(walk) < 2 {
+			return nil, fmt.Errorf("loader: channel %d has %d coordinates", i, len(walk))
+		}
+		coords := make([]grid.Coord, len(walk))
+		for j, xy := range walk {
+			if !inBounds(xy[0], xy[1]) {
+				return nil, fmt.Errorf("loader: channel %d coordinate (%d,%d) outside %dx%d grid", i, xy[0], xy[1], spec.GridW, spec.GridH)
+			}
+			coords[j] = grid.Coord{X: xy[0], Y: xy[1]}
+		}
+		b.AddChannel(coords...)
+	}
+	return b.Build()
+}
+
+// ReadAssay decodes and builds a sequencing graph from JSON.
+func ReadAssay(r io.Reader) (*assay.Graph, error) {
+	var spec AssaySpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("loader: assay JSON: %w", err)
+	}
+	return BuildAssay(spec)
+}
+
+// BuildAssay constructs a sequencing graph from a decoded spec.
+func BuildAssay(spec AssaySpec) (*assay.Graph, error) {
+	g := assay.New(spec.Name)
+	for _, op := range spec.Ops {
+		kind, err := opKind(op.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("loader: op %q: %w", op.Name, err)
+		}
+		if op.Duration <= 0 {
+			return nil, fmt.Errorf("loader: op %q: duration %d", op.Name, op.Duration)
+		}
+		g.AddOp(kind, op.Name, op.Duration)
+	}
+	for i, d := range spec.Deps {
+		if d[0] < 0 || d[0] >= g.NumOps() || d[1] < 0 || d[1] >= g.NumOps() || d[0] == d[1] {
+			return nil, fmt.Errorf("loader: dep %d (%d->%d) out of range", i, d[0], d[1])
+		}
+		g.AddDep(d[0], d[1])
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	return g, nil
+}
+
+// WriteChip serializes a chip back to its JSON spec (channels are emitted
+// one segment per entry).
+func WriteChip(w io.Writer, c *chip.Chip) error {
+	spec := ChipSpec{Name: c.Name, GridW: c.Grid.W, GridH: c.Grid.H}
+	for _, d := range c.Devices {
+		pos := c.Grid.CoordOf(d.Node)
+		spec.Devices = append(spec.Devices, DeviceSpec{Name: d.Name, Kind: d.Kind.String(), X: pos.X, Y: pos.Y})
+	}
+	for _, p := range c.Ports {
+		pos := c.Grid.CoordOf(p.Node)
+		spec.Ports = append(spec.Ports, PortSpec{Name: p.Name, X: pos.X, Y: pos.Y})
+	}
+	for _, e := range c.ChannelEdges() {
+		a, b := c.Grid.EdgeEndpoints(e)
+		spec.Channels = append(spec.Channels, [][2]int{{a.X, a.Y}, {b.X, b.Y}})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// WriteAssay serializes a sequencing graph to its JSON spec.
+func WriteAssay(w io.Writer, g *assay.Graph) error {
+	spec := AssaySpec{Name: g.Name}
+	for _, op := range g.Ops() {
+		spec.Ops = append(spec.Ops, OpSpec{Name: op.Name, Kind: op.Kind.String(), Duration: op.Duration})
+	}
+	for _, op := range g.Ops() {
+		for _, s := range g.Succs(op.ID) {
+			spec.Deps = append(spec.Deps, [2]int{op.ID, s})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+func deviceKind(s string) (chip.DeviceKind, error) {
+	switch s {
+	case "mixer":
+		return chip.Mixer, nil
+	case "detector":
+		return chip.Detector, nil
+	case "heater":
+		return chip.Heater, nil
+	case "filter":
+		return chip.Filter, nil
+	}
+	return 0, fmt.Errorf("unknown device kind %q", s)
+}
+
+func opKind(s string) (assay.OpKind, error) {
+	switch s {
+	case "dispense":
+		return assay.Dispense, nil
+	case "mix":
+		return assay.Mix, nil
+	case "detect":
+		return assay.Detect, nil
+	}
+	return 0, fmt.Errorf("unknown op kind %q", s)
+}

@@ -1,0 +1,43 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLP builds a feasible maximization with n vars and m <= constraints.
+func randomLP(n, m int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(Maximize)
+	for i := 0; i < n; i++ {
+		p.AddBinaryVar(rng.Float64()*5, "x")
+	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				terms = append(terms, T(j, 1+rng.Float64()*2))
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, T(0, 1))
+		}
+		p.AddConstraint(Constraint{Terms: terms, Rel: LE, RHS: 1 + rng.Float64()*float64(n)/2})
+	}
+	return p
+}
+
+func benchSolve(b *testing.B, n, m int) {
+	p := randomLP(n, m, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve(nil)
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("status %v err %v", sol.Status, err)
+		}
+	}
+}
+
+func BenchmarkSimplexSmall(b *testing.B)  { benchSolve(b, 20, 15) }
+func BenchmarkSimplexMedium(b *testing.B) { benchSolve(b, 100, 60) }
+func BenchmarkSimplexLarge(b *testing.B)  { benchSolve(b, 300, 180) }

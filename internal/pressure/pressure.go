@@ -1,0 +1,249 @@
+// Package pressure is a quantitative refinement of the boolean
+// pressure-reachability model: it treats the open channel network as a
+// resistive network (each open segment has unit pneumatic conductance),
+// solves the node-pressure equations with the source held at 1 and the
+// meter vented at 0, and reports the air flow arriving at the meter.
+//
+// The boolean model in package fault answers "does pressure arrive?";
+// this package answers "how much", which matters for two things the
+// boolean model cannot express:
+//
+//   - measurement thresholds: a real meter needs a minimum flow to
+//     register, so long detour paths give weaker signals;
+//   - membrane leakage: a leaky closed valve conducts a little (its
+//     conductance is LeakConductance rather than 0), producing a small
+//     but nonzero meter flow that only a sufficiently sensitive meter
+//     detects — quantifying the paper's remark that leakage faults "can
+//     be tested similarly".
+//
+// The solver is dense Gaussian elimination over the grounded Laplacian;
+// biochip networks have at most a few hundred nodes.
+package pressure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+)
+
+// Params tunes the physical model.
+type Params struct {
+	// OpenConductance is the pneumatic conductance of an open segment
+	// (default 1).
+	OpenConductance float64
+	// LeakConductance is the residual conductance of a CLOSED valve with a
+	// leakage defect (default 0.05). Healthy closed valves conduct 0.
+	LeakConductance float64
+	// MeterThreshold is the minimum inflow the meter registers as
+	// "pressure present" (default 1e-6).
+	MeterThreshold float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.OpenConductance == 0 {
+		p.OpenConductance = 1
+	}
+	if p.LeakConductance == 0 {
+		p.LeakConductance = 0.05
+	}
+	if p.MeterThreshold == 0 {
+		p.MeterThreshold = 1e-6
+	}
+	return p
+}
+
+// Result of a pressure solve.
+type Result struct {
+	// NodePressure maps every grid node to its pressure in [0,1]
+	// (NaN for nodes with no open connection to either terminal).
+	NodePressure []float64
+	// MeterFlow is the air flow arriving at the meter node.
+	MeterFlow float64
+}
+
+// Reads reports whether the meter registers the flow under the params.
+func (r Result) Reads(p Params) bool {
+	return r.MeterFlow > p.withDefaults().MeterThreshold
+}
+
+// Solve computes the steady-state pressures for a chip whose valves have
+// the given conductances (indexed by valve ID; 0 = fully closed). The
+// source node is held at pressure 1, the meter node at 0.
+func Solve(c *chip.Chip, conductance []float64, sourceNode, meterNode int) (Result, error) {
+	if len(conductance) != c.NumValves() {
+		return Result{}, fmt.Errorf("pressure: %d conductances for %d valves", len(conductance), c.NumValves())
+	}
+	if sourceNode == meterNode {
+		return Result{}, fmt.Errorf("pressure: source and meter coincide")
+	}
+	n := c.Grid.NumNodes()
+	g := c.Grid.Graph()
+
+	// Floating islands (open sub-networks touching neither terminal) have
+	// a singular Laplacian block and carry no flow; exclude them. Keep only
+	// nodes reachable from a terminal over conducting edges.
+	conducting := func(e int) bool {
+		v, ok := c.ValveOnEdge(e)
+		return ok && conductance[v] > 0
+	}
+	reach := make([]bool, n)
+	for _, root := range [2]int{sourceNode, meterNode} {
+		for node, d := range g.BFSFrom(root, conducting) {
+			if d >= 0 {
+				reach[node] = true
+			}
+		}
+	}
+
+	// Unknowns: reachable nodes except source and meter (Dirichlet
+	// terminals).
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	var unknowns []int
+	for i := 0; i < n; i++ {
+		if i != sourceNode && i != meterNode && reach[i] {
+			idx[i] = len(unknowns)
+			unknowns = append(unknowns, i)
+		}
+	}
+	m := len(unknowns)
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m+1) // augmented column = RHS
+	}
+	condOf := func(e int) float64 {
+		v, ok := c.ValveOnEdge(e)
+		if !ok {
+			return 0
+		}
+		return conductance[v]
+	}
+	for ui, node := range unknowns {
+		diag := 0.0
+		for _, e := range g.IncidentEdges(node) {
+			gcond := condOf(e)
+			if gcond <= 0 {
+				continue
+			}
+			x, y := g.Endpoints(e)
+			other := x
+			if other == node {
+				other = y
+			}
+			diag += gcond
+			switch other {
+			case sourceNode:
+				a[ui][m] += gcond * 1.0
+			case meterNode:
+				// pressure 0: contributes nothing to RHS
+			default:
+				a[ui][idx[other]] -= gcond
+			}
+		}
+		if diag == 0 {
+			diag = 1 // isolated node: pressure defined as 0
+		}
+		a[ui][ui] += diag
+	}
+	sol, err := gauss(a, m)
+	if err != nil {
+		return Result{}, err
+	}
+	pr := make([]float64, n)
+	for i := range pr {
+		pr[i] = 0
+	}
+	pr[sourceNode] = 1
+	for ui, node := range unknowns {
+		pr[node] = sol[ui]
+	}
+	// Meter inflow = sum of conductance * pressure of neighbours.
+	flow := 0.0
+	for _, e := range g.IncidentEdges(meterNode) {
+		gcond := condOf(e)
+		if gcond <= 0 {
+			continue
+		}
+		x, y := g.Endpoints(e)
+		other := x
+		if other == meterNode {
+			other = y
+		}
+		flow += gcond * pr[other]
+	}
+	return Result{NodePressure: pr, MeterFlow: flow}, nil
+}
+
+// gauss solves the m x m system with augmented matrix a (last column RHS)
+// by Gaussian elimination with partial pivoting.
+func gauss(a [][]float64, m int) ([]float64, error) {
+	for col := 0; col < m; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("pressure: singular system at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= m; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	sol := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		s := a[r][m]
+		for k := r + 1; k < m; k++ {
+			s -= a[r][k] * sol[k]
+		}
+		sol[r] = s / a[r][r]
+	}
+	return sol, nil
+}
+
+// Conductances builds the per-valve conductance vector for a valve state
+// under the physical params, with optional defects: stuck-at-1 and leakage
+// make a closed valve conduct; stuck-at-0 makes an open valve block.
+func Conductances(c *chip.Chip, open []bool, p Params, defects map[int]Defect) []float64 {
+	p = p.withDefaults()
+	out := make([]float64, c.NumValves())
+	for v := 0; v < c.NumValves(); v++ {
+		isOpen := open[v]
+		switch defects[v] {
+		case StuckOpen:
+			isOpen = true
+		case StuckClosed:
+			isOpen = false
+		}
+		if isOpen {
+			out[v] = p.OpenConductance
+		} else if defects[v] == Leaky {
+			out[v] = p.LeakConductance
+		}
+	}
+	return out
+}
+
+// Defect is a physical defect for the quantitative model.
+type Defect int
+
+// Defect kinds. None is the zero value.
+const (
+	None Defect = iota
+	StuckClosed
+	StuckOpen
+	Leaky
+)

@@ -1,0 +1,178 @@
+// Package pso implements particle swarm optimization (Kennedy & Eberhart,
+// ref. [20] of the paper), the search engine of the paper's two-level DFT
+// flow (Section 4.2).
+//
+// Particles move through [0,1]^dim under the velocity update of eqs.
+// (7)-(8):
+//
+//	v_i = ω·v_i + c1·rand1·(pbest_i − x_i) + c2·rand2·(gbest − x_i)
+//	x_i = x_i + v_i
+//
+// (the paper prints the attraction terms with the sign flipped, which would
+// repel particles from the best positions; we use the standard attractive
+// form). Fitness is minimized; +Inf marks invalid positions, matching the
+// paper's "quality ∞" for configurations that fail validation.
+package pso
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Config tunes the swarm.
+type Config struct {
+	// Particles is the swarm size (the paper uses 5 per level).
+	Particles int
+	// Iterations is the number of velocity/position updates (the paper
+	// uses 100).
+	Iterations int
+	// Omega is the inertia weight ω, C1 the cognitive and C2 the social
+	// acceleration constants. Zero values select 0.7, 1.5, 1.5.
+	Omega, C1, C2 float64
+	// VMax clamps velocity components (default 0.5).
+	VMax float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Particles <= 0 {
+		c.Particles = 5
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 100
+	}
+	if c.Omega == 0 {
+		c.Omega = 0.7
+	}
+	if c.C1 == 0 {
+		c.C1 = 1.5
+	}
+	if c.C2 == 0 {
+		c.C2 = 1.5
+	}
+	if c.VMax == 0 {
+		c.VMax = 0.5
+	}
+	return c
+}
+
+// Result reports the best position found.
+type Result struct {
+	BestX       []float64
+	BestFitness float64
+	// Trace holds the global-best fitness after every iteration (entry 0
+	// is after initialization); it reproduces the convergence curves of
+	// the paper's Fig. 9.
+	Trace []float64
+	// Evaluations counts fitness calls.
+	Evaluations int
+}
+
+// Minimize runs PSO over [0,1]^dim. fitness returns the quality of a
+// position (lower is better; +Inf for invalid). The search is fully
+// deterministic for a fixed Config.Seed.
+func Minimize(dim int, fitness func(x []float64) float64, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if dim <= 0 {
+		// Degenerate: a single empty position.
+		f := fitness(nil)
+		return Result{BestX: nil, BestFitness: f, Trace: fill(cfg.Iterations+1, f), Evaluations: 1}
+	}
+
+	type particle struct {
+		x, v, pbestX []float64
+		pbestF       float64
+	}
+	swarm := make([]particle, cfg.Particles)
+	gbestX := make([]float64, dim)
+	gbestF := math.Inf(1)
+	evals := 0
+
+	for i := range swarm {
+		p := particle{
+			x: make([]float64, dim),
+			v: make([]float64, dim),
+		}
+		for d := 0; d < dim; d++ {
+			p.x[d] = rng.Float64()
+			p.v[d] = (rng.Float64()*2 - 1) * cfg.VMax
+		}
+		f := fitness(p.x)
+		evals++
+		p.pbestX = append([]float64(nil), p.x...)
+		p.pbestF = f
+		if f < gbestF {
+			gbestF = f
+			copy(gbestX, p.x)
+		}
+		swarm[i] = p
+	}
+	trace := make([]float64, 0, cfg.Iterations+1)
+	trace = append(trace, gbestF)
+
+	for it := 0; it < cfg.Iterations; it++ {
+		for i := range swarm {
+			p := &swarm[i]
+			for d := 0; d < dim; d++ {
+				r1, r2 := rng.Float64(), rng.Float64()
+				p.v[d] = cfg.Omega*p.v[d] +
+					cfg.C1*r1*(p.pbestX[d]-p.x[d]) +
+					cfg.C2*r2*(gbestX[d]-p.x[d])
+				if p.v[d] > cfg.VMax {
+					p.v[d] = cfg.VMax
+				}
+				if p.v[d] < -cfg.VMax {
+					p.v[d] = -cfg.VMax
+				}
+				p.x[d] += p.v[d]
+				if p.x[d] < 0 {
+					p.x[d] = 0
+					p.v[d] = -p.v[d] * 0.5
+				}
+				if p.x[d] > 1 {
+					p.x[d] = 1
+					p.v[d] = -p.v[d] * 0.5
+				}
+			}
+			f := fitness(p.x)
+			evals++
+			if f < p.pbestF {
+				p.pbestF = f
+				copy(p.pbestX, p.x)
+			}
+			if f < gbestF {
+				gbestF = f
+				copy(gbestX, p.x)
+			}
+		}
+		trace = append(trace, gbestF)
+	}
+	return Result{BestX: gbestX, BestFitness: gbestF, Trace: trace, Evaluations: evals}
+}
+
+func fill(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// MapToPartner converts a continuous position component in [0,1] to a
+// categorical choice in [0,n): the inner PSO uses this to map positions to
+// valve-sharing partners (eq. (10)'s X^s).
+func MapToPartner(x float64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	i := int(x * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,100 @@
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/sched"
+)
+
+// Gantt renders a schedule as a per-resource timeline. Each row is a
+// device or port; each operation occupies its time span, labelled with the
+// op name (clipped to the span). Transports are summarized below the
+// chart. width is the number of character columns for the time axis
+// (default 72 if <= 0).
+func Gantt(c *chip.Chip, g *assay.Graph, sch *sched.Schedule, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if sch.ExecutionTime <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / float64(sch.ExecutionTime)
+	col := func(t int) int {
+		x := int(float64(t) * scale)
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+
+	type row struct {
+		label string
+		cells []rune
+	}
+	rows := map[string]*row{}
+	order := []string{}
+	rowFor := func(label string) *row {
+		if r, ok := rows[label]; ok {
+			return r
+		}
+		r := &row{label: label, cells: []rune(strings.Repeat(".", width))}
+		rows[label] = r
+		order = append(order, label)
+		return r
+	}
+	// Pre-create device rows in chip order for a stable layout.
+	for _, d := range c.Devices {
+		rowFor(d.Name)
+	}
+	for _, p := range c.Ports {
+		rowFor(p.Name)
+	}
+
+	recs := append([]sched.OpRecord(nil), sch.Ops...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+	for _, r := range recs {
+		label := c.Devices[r.Device].Name
+		if r.IsPort {
+			label = c.Ports[r.Device].Name
+		}
+		rw := rowFor(label)
+		a, b := col(r.Start), col(r.Finish-1)
+		if b < a {
+			b = a
+		}
+		name := g.Op(r.Op).Name
+		for x := a; x <= b && x < width; x++ {
+			idx := x - a
+			ch := '#'
+			if idx < len(name) {
+				ch = rune(name[idx])
+			}
+			rw.cells[x] = ch
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule: %d s total, %d ops, %d transports\n", sch.ExecutionTime, len(sch.Ops), len(sch.Transports))
+	for _, label := range order {
+		r := rows[label]
+		if strings.Count(string(r.cells), ".") == width {
+			continue // resource never used
+		}
+		fmt.Fprintf(&sb, "%-6s |%s|\n", r.label, string(r.cells))
+	}
+	fmt.Fprintf(&sb, "%-6s  0%s%d s\n", "", strings.Repeat(" ", width-len(fmt.Sprint(sch.ExecutionTime))-1), sch.ExecutionTime)
+	moves := 0
+	for _, tr := range sch.Transports {
+		if tr.ConsumerOp < 0 {
+			moves++
+		}
+	}
+	if moves > 0 {
+		fmt.Fprintf(&sb, "(%d of the transports are channel-storage moves)\n", moves)
+	}
+	return sb.String()
+}

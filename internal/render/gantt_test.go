@@ -1,0 +1,77 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/sched"
+)
+
+func TestGanttBasics(t *testing.T) {
+	c := chip.IVD()
+	g := assay.IVD()
+	sch, err := sched.Run(c, nil, g, sched.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(c, g, sch, 60)
+	if !strings.Contains(out, "schedule:") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// Every mixer that ran appears as a row.
+	used := map[string]bool{}
+	for _, r := range sch.Ops {
+		if !r.IsPort {
+			used[c.Devices[r.Device].Name] = true
+		}
+	}
+	for name := range used {
+		if !strings.Contains(out, name+" ") {
+			t.Fatalf("row for %s missing:\n%s", name, out)
+		}
+	}
+	// Lines have bounded width.
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 60+12 {
+			t.Fatalf("line too wide: %q", line)
+		}
+	}
+}
+
+func TestGanttDefaultsAndEmpty(t *testing.T) {
+	c := chip.IVD()
+	g := assay.IVD()
+	sch, err := sched.Run(c, nil, g, sched.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Gantt(c, g, sch, 0); !strings.Contains(out, "|") {
+		t.Fatal("default width rendering broken")
+	}
+	empty := &sched.Schedule{}
+	if out := Gantt(c, g, empty, 40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty schedule rendering: %q", out)
+	}
+}
+
+func TestGanttMentionsStorageMoves(t *testing.T) {
+	// CPA on RA30 is the storage-heavy case.
+	c := chip.RA30()
+	g := assay.CPA()
+	sch, err := sched.Run(c, nil, g, sched.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(c, g, sch, 72)
+	moves := 0
+	for _, tr := range sch.Transports {
+		if tr.ConsumerOp < 0 {
+			moves++
+		}
+	}
+	if moves > 0 && !strings.Contains(out, "storage moves") {
+		t.Fatal("storage move note missing")
+	}
+}

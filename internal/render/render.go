@@ -1,0 +1,95 @@
+// Package render draws biochip netlists as ASCII diagrams for terminals
+// and logs: devices, ports, junctions, original channels and DFT-added
+// channels.
+package render
+
+import (
+	"strings"
+
+	"repro/internal/chip"
+	"repro/internal/grid"
+)
+
+// Chip renders the chip's connection grid:
+//
+//	M,D,H,F  devices (first letter of the name)
+//	P        external ports
+//	+        channel junction
+//	-- |     original channels (one valve per segment)
+//	== :     DFT-added channels
+//	.        free grid node
+func Chip(c *chip.Chip) string {
+	g := c.Grid
+	var sb strings.Builder
+	hor := func(a, b grid.Coord) string {
+		e, ok := g.EdgeBetweenCoords(a, b)
+		if !ok {
+			return "  "
+		}
+		v, valved := c.ValveOnEdge(e)
+		switch {
+		case !valved:
+			return "  "
+		case c.Valve(v).DFT:
+			return "=="
+		default:
+			return "--"
+		}
+	}
+	ver := func(a, b grid.Coord) string {
+		e, ok := g.EdgeBetweenCoords(a, b)
+		if !ok {
+			return " "
+		}
+		v, valved := c.ValveOnEdge(e)
+		switch {
+		case !valved:
+			return " "
+		case c.Valve(v).DFT:
+			return ":"
+		default:
+			return "|"
+		}
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			sb.WriteString(nodeGlyph(c, grid.Coord{X: x, Y: y}))
+			if x+1 < g.W {
+				sb.WriteString(hor(grid.Coord{X: x, Y: y}, grid.Coord{X: x + 1, Y: y}))
+			}
+		}
+		sb.WriteString("\n")
+		if y+1 == g.H {
+			break
+		}
+		for x := 0; x < g.W; x++ {
+			sb.WriteString(ver(grid.Coord{X: x, Y: y}, grid.Coord{X: x, Y: y + 1}))
+			if x+1 < g.W {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeGlyph(c *chip.Chip, coord grid.Coord) string {
+	n := c.Grid.NodeAt(coord)
+	if d, ok := c.DeviceAt(n); ok {
+		return d.Name[:1]
+	}
+	if _, ok := c.PortAt(n); ok {
+		return "P"
+	}
+	for _, e := range c.Grid.IncidentEdges(n) {
+		if _, valved := c.ValveOnEdge(e); valved {
+			return "+"
+		}
+	}
+	return "."
+}
+
+// Legend returns the symbol explanation to print under a rendering.
+func Legend() string {
+	return "legend: M/D=devices P=ports +=junction --,|=channels ==,:=DFT channels .=free"
+}

@@ -1,0 +1,66 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/testgen"
+)
+
+func TestRenderBenchmarks(t *testing.T) {
+	for _, c := range chip.Benchmarks() {
+		out := Chip(c)
+		if !strings.Contains(out, "P") {
+			t.Errorf("%s: rendering lost the ports", c.Name)
+		}
+		if !strings.Contains(out, "M") || !strings.Contains(out, "D") {
+			t.Errorf("%s: rendering lost devices", c.Name)
+		}
+		if !strings.Contains(out, "--") && !strings.Contains(out, "|") {
+			t.Errorf("%s: rendering lost channels", c.Name)
+		}
+		if strings.Contains(out, "==") || strings.Contains(out, ":") {
+			t.Errorf("%s: original chip shows DFT glyphs", c.Name)
+		}
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != 2*c.Grid.H-1 {
+			t.Errorf("%s: %d lines for height %d", c.Name, len(lines), c.Grid.H)
+		}
+	}
+}
+
+func TestRenderShowsDFTChannels(t *testing.T) {
+	aug, err := testgen.AugmentHeuristic(chip.IVD(), testgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Chip(aug.Chip)
+	if !strings.Contains(out, "==") && !strings.Contains(out, ":") {
+		t.Fatalf("DFT channels missing from rendering:\n%s", out)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a, b := Chip(chip.RA30()), Chip(chip.RA30())
+	if a != b {
+		t.Fatal("rendering must be deterministic")
+	}
+}
+
+func TestLegendMentionsGlyphs(t *testing.T) {
+	l := Legend()
+	for _, token := range []string{"devices", "ports", "DFT"} {
+		if !strings.Contains(l, token) {
+			t.Fatalf("legend missing %q: %s", token, l)
+		}
+	}
+}
+
+func TestDeviceInitials(t *testing.T) {
+	out := Chip(chip.IVD())
+	// IVD devices are M1..M3, D1, D2: initials M and D must appear.
+	if strings.Count(out, "M") < 3 || strings.Count(out, "D") < 2 {
+		t.Fatalf("device glyph counts wrong:\n%s", out)
+	}
+}

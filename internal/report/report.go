@@ -1,0 +1,204 @@
+// Package report serializes DFT flow results for downstream consumption:
+// a JSON document with the augmented architecture, the valve-sharing
+// scheme and the complete test program, suitable for driving an actual
+// test setup or for archiving experiment outputs.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// Document is the serialized form of a DFT flow result.
+type Document struct {
+	Chip        ChipInfo     `json:"chip"`
+	TestPorts   TestPorts    `json:"test_ports"`
+	Sharing     []SharePair  `json:"valve_sharing"`
+	PathVectors []TestVector `json:"path_vectors"`
+	CutVectors  []TestVector `json:"cut_vectors"`
+	Execution   Execution    `json:"execution_times_s"`
+	RuntimeMS   int64        `json:"flow_runtime_ms"`
+}
+
+// ChipInfo describes the augmented architecture.
+type ChipInfo struct {
+	Name           string      `json:"name"`
+	GridW          int         `json:"grid_w"`
+	GridH          int         `json:"grid_h"`
+	Devices        []Device    `json:"devices"`
+	Ports          []Port      `json:"ports"`
+	OriginalValves int         `json:"original_valves"`
+	DFTValves      []ValveInfo `json:"dft_valves"`
+}
+
+// Device is one functional unit.
+type Device struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+}
+
+// Port is one external port.
+type Port struct {
+	Name string `json:"name"`
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+}
+
+// ValveInfo locates a valve's channel segment on the grid.
+type ValveInfo struct {
+	ID int `json:"id"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+	X2 int `json:"x2"`
+	Y2 int `json:"y2"`
+}
+
+// TestPorts names the single source and meter.
+type TestPorts struct {
+	Source string `json:"source"`
+	Meter  string `json:"meter"`
+}
+
+// SharePair records one control-line sharing. OriginalValve is -1 when the
+// DFT valve received its own control line (partial-sharing fallback).
+type SharePair struct {
+	DFTValve      int `json:"dft_valve"`
+	OriginalValve int `json:"original_valve"`
+}
+
+// TestVector is one vector of the test program. For kind "path" the listed
+// valves are driven open (all others closed); for kind "cut" they are
+// driven closed (all others open).
+type TestVector struct {
+	Kind         string `json:"kind"`
+	Valves       []int  `json:"valves"`
+	ExpectsFlow  bool   `json:"expect_meter_pressure"`
+	DetectsFault string `json:"detects"`
+}
+
+// Execution compares the schedule lengths.
+type Execution struct {
+	Original       int `json:"original"`
+	DFTNoPSO       int `json:"dft_without_pso"`
+	DFTPSO         int `json:"dft_with_pso"`
+	DFTIndependent int `json:"dft_independent_control"`
+}
+
+// Build assembles the document from a flow result.
+func Build(res *core.Result) Document {
+	c := res.Aug.Chip
+	doc := Document{
+		Chip: ChipInfo{
+			Name:           c.Name,
+			GridW:          c.Grid.W,
+			GridH:          c.Grid.H,
+			OriginalValves: c.NumOriginalValves(),
+		},
+		TestPorts: TestPorts{
+			Source: c.Ports[res.Aug.Source].Name,
+			Meter:  c.Ports[res.Aug.Meter].Name,
+		},
+		Execution: Execution{
+			Original:       res.ExecOriginal,
+			DFTNoPSO:       res.ExecNoPSO,
+			DFTPSO:         res.ExecPSO,
+			DFTIndependent: res.ExecIndependent,
+		},
+		RuntimeMS: res.Runtime.Milliseconds(),
+	}
+	for _, d := range c.Devices {
+		pos := c.Grid.CoordOf(d.Node)
+		doc.Chip.Devices = append(doc.Chip.Devices, Device{Name: d.Name, Kind: d.Kind.String(), X: pos.X, Y: pos.Y})
+	}
+	for _, p := range c.Ports {
+		pos := c.Grid.CoordOf(p.Node)
+		doc.Chip.Ports = append(doc.Chip.Ports, Port{Name: p.Name, X: pos.X, Y: pos.Y})
+	}
+	for _, v := range c.Valves() {
+		if !v.DFT {
+			continue
+		}
+		a, b := c.Grid.EdgeEndpoints(v.Edge)
+		doc.Chip.DFTValves = append(doc.Chip.DFTValves, ValveInfo{ID: v.ID, X1: a.X, Y1: a.Y, X2: b.X, Y2: b.Y})
+	}
+	for i, p := range res.Partners {
+		doc.Sharing = append(doc.Sharing, SharePair{DFTValve: c.NumOriginalValves() + i, OriginalValve: p})
+	}
+	for _, v := range res.PathVectors {
+		doc.PathVectors = append(doc.PathVectors, vectorJSON(v))
+	}
+	for _, v := range res.CutVectors {
+		doc.CutVectors = append(doc.CutVectors, vectorJSON(v))
+	}
+	return doc
+}
+
+func vectorJSON(v fault.Vector) TestVector {
+	out := TestVector{Valves: append([]int(nil), v.Valves...)}
+	if v.Kind == fault.PathVector {
+		out.Kind = "path"
+		out.ExpectsFlow = true
+		out.DetectsFault = "stuck-at-0 on listed valves"
+	} else {
+		out.Kind = "cut"
+		out.ExpectsFlow = false
+		out.DetectsFault = "stuck-at-1 on listed valves"
+	}
+	return out
+}
+
+// WriteJSON writes the document as indented JSON.
+func WriteJSON(w io.Writer, res *core.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Build(res))
+}
+
+// Summary writes a one-paragraph human summary.
+func Summary(w io.Writer, res *core.Result) {
+	c := res.Aug.Chip
+	fmt.Fprintf(w, "%s: +%d DFT valves (%d sharing control lines), test with source %s and meter %s using %d vectors; execution %d s -> %d s (original -> DFT+PSO), flow runtime %v\n",
+		c.Name, res.NumDFTValves, res.NumShared,
+		c.Ports[res.Aug.Source].Name, c.Ports[res.Aug.Meter].Name,
+		res.NumTestVectors, res.ExecOriginal, res.ExecPSO, res.Runtime)
+}
+
+// Decode parses a JSON document (for tooling round-trips).
+func Decode(r io.Reader) (Document, error) {
+	var doc Document
+	err := json.NewDecoder(r).Decode(&doc)
+	return doc, err
+}
+
+// Validate sanity-checks a decoded document.
+func (d Document) Validate() error {
+	if d.Chip.Name == "" {
+		return fmt.Errorf("report: missing chip name")
+	}
+	if d.TestPorts.Source == "" || d.TestPorts.Meter == "" {
+		return fmt.Errorf("report: missing test ports")
+	}
+	if len(d.Sharing) != len(d.Chip.DFTValves) {
+		return fmt.Errorf("report: %d sharing pairs for %d DFT valves", len(d.Sharing), len(d.Chip.DFTValves))
+	}
+	if len(d.PathVectors) == 0 || len(d.CutVectors) == 0 {
+		return fmt.Errorf("report: empty test program")
+	}
+	for _, v := range d.PathVectors {
+		if v.Kind != "path" || !v.ExpectsFlow {
+			return fmt.Errorf("report: malformed path vector")
+		}
+	}
+	for _, v := range d.CutVectors {
+		if v.Kind != "cut" || v.ExpectsFlow {
+			return fmt.Errorf("report: malformed cut vector")
+		}
+	}
+	return nil
+}

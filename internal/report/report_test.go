@@ -1,0 +1,117 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/pso"
+)
+
+func flowResult(t *testing.T) *core.Result {
+	t.Helper()
+	res, err := core.RunDFTFlow(chip.IVD(), assay.IVD(), core.Options{
+		Outer: pso.Config{Particles: 3, Iterations: 4},
+		Inner: pso.Config{Particles: 3, Iterations: 4},
+		Seed:  11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBuildDocument(t *testing.T) {
+	res := flowResult(t)
+	doc := Build(res)
+	if doc.Chip.Name != "IVD_chip" {
+		t.Fatalf("chip name %q", doc.Chip.Name)
+	}
+	if doc.Chip.OriginalValves != 12 {
+		t.Fatalf("original valves %d", doc.Chip.OriginalValves)
+	}
+	if len(doc.Chip.DFTValves) != res.NumDFTValves {
+		t.Fatalf("dft valves %d vs %d", len(doc.Chip.DFTValves), res.NumDFTValves)
+	}
+	if len(doc.Sharing) != res.NumDFTValves {
+		t.Fatalf("sharing pairs %d", len(doc.Sharing))
+	}
+	if len(doc.PathVectors)+len(doc.CutVectors) != res.NumTestVectors {
+		t.Fatal("vector counts mismatch")
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := flowResult(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"valve_sharing"`) {
+		t.Fatal("JSON missing valve_sharing key")
+	}
+	doc, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Execution.DFTPSO != res.ExecPSO {
+		t.Fatalf("exec round trip: %d vs %d", doc.Execution.DFTPSO, res.ExecPSO)
+	}
+	if doc.TestPorts.Source == doc.TestPorts.Meter {
+		t.Fatal("source and meter must differ")
+	}
+}
+
+func TestSummaryMentionsKeyNumbers(t *testing.T) {
+	res := flowResult(t)
+	var buf bytes.Buffer
+	Summary(&buf, res)
+	s := buf.String()
+	if !strings.Contains(s, "IVD_chip") || !strings.Contains(s, "DFT valves") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	res := flowResult(t)
+	doc := Build(res)
+	bad := doc
+	bad.Chip.Name = ""
+	if bad.Validate() == nil {
+		t.Fatal("missing name must fail")
+	}
+	bad = doc
+	bad.Sharing = doc.Sharing[:0]
+	if len(doc.Chip.DFTValves) > 0 && bad.Validate() == nil {
+		t.Fatal("sharing/valve mismatch must fail")
+	}
+	bad = doc
+	bad.PathVectors = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty program must fail")
+	}
+	bad = Build(res)
+	bad.PathVectors[0].Kind = "cut"
+	if bad.Validate() == nil {
+		t.Fatal("malformed path vector must fail")
+	}
+	bad = Build(res)
+	bad.CutVectors[0].ExpectsFlow = true
+	if bad.Validate() == nil {
+		t.Fatal("malformed cut vector must fail")
+	}
+	bad = Build(res)
+	bad.TestPorts.Meter = ""
+	if bad.Validate() == nil {
+		t.Fatal("missing meter must fail")
+	}
+}

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+// TestDebugCPADeadlock dumps the simulation state at deadlock to aid
+// development; it is skipped when the schedule completes.
+func TestDebugCPADeadlock(t *testing.T) {
+	c := chip.IVD()
+	g := assay.CPA()
+	s := newSimState(c, chip.IndependentControl(c), g, Params{}.withDefaults())
+	_, err := s.run()
+	if err == nil {
+		t.Skip("no deadlock")
+	}
+	t.Logf("error: %v", err)
+	phaseName := []string{"waitPreds", "waitDevice", "waitDelivery", "running", "done"}
+	for i := range s.ops {
+		oc := &s.ops[i]
+		if oc.phase == phaseDone {
+			continue
+		}
+		t.Logf("op %d (%s %s) phase=%s device=%d isPort=%v pending=%d",
+			i, g.Op(i).Kind, g.Op(i).Name, phaseName[oc.phase], oc.device, oc.isPort, oc.pending)
+	}
+	for i := range s.products {
+		pr := &s.products[i]
+		if pr.exists {
+			t.Logf("product %d loc={%d %d} total=%d started=%d arrived=%d holdsDev=%d holdsPort=%d moving=%v",
+				i, pr.loc.kind, pr.loc.id, pr.totalConsumers, pr.started, pr.arrived, pr.holdsDevice, pr.holdsPort, pr.moving)
+		}
+	}
+	for _, task := range s.tasks {
+		if task.done || task.started {
+			continue
+		}
+		t.Logf("pending task producer=%d consumer=%d", task.producer, task.consumer)
+	}
+	t.Logf("deviceBusy=%v portBusy=%v", s.deviceBusy, s.portBusy)
+	t.Fail()
+}

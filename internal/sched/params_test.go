@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+func TestTransportTimeScaling(t *testing.T) {
+	c := lineChip(t)
+	slow, err := Run(c, nil, miniAssay(), Params{TransportTimePerEdge: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(c, nil, miniAssay(), Params{TransportTimePerEdge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The M->D transport is 3 edges: 30 s vs 3 s difference must show in
+	// the makespan (ops are sequential on the line chip).
+	if slow.ExecutionTime-fast.ExecutionTime != 27 {
+		t.Fatalf("transport scaling: slow %d, fast %d, want delta 27",
+			slow.ExecutionTime, fast.ExecutionTime)
+	}
+}
+
+func TestRunProgressReportsCompletion(t *testing.T) {
+	c := chip.IVD()
+	g := assay.IVD()
+	sch, done, err := RunProgress(c, nil, g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != g.NumOps() {
+		t.Fatalf("done = %d, want %d", done, g.NumOps())
+	}
+	if sch == nil || sch.ExecutionTime <= 0 {
+		t.Fatal("schedule missing")
+	}
+}
+
+func TestRunProgressReportsPartialOnWedge(t *testing.T) {
+	// The known-blocking sharing on the line chip wedges after the mix op.
+	c := lineChip(t)
+	e, ok := c.Grid.EdgeBetweenCoords(xy(2, 1), xy(2, 0))
+	if !ok {
+		t.Fatal("missing stub edge")
+	}
+	if _, err := c.AddDFTChannel(e); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := chip.SharedControl(c, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done, err := RunProgress(c, ctrl, miniAssay(), Params{MaxTime: 3600})
+	if err == nil {
+		t.Fatal("expected wedge")
+	}
+	if done != 1 {
+		t.Fatalf("done = %d, want 1 (the mix completes, the detect cannot be fed)", done)
+	}
+}
+
+func TestMaxTimeGuard(t *testing.T) {
+	// An absurd horizon of 1 s cannot fit a 15 s assay.
+	c := lineChip(t)
+	if _, err := Run(c, nil, miniAssay(), Params{MaxTime: 1}); err == nil {
+		t.Fatal("MaxTime guard did not fire")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.TransportTimePerEdge != 2 || p.MaxTime != 24*3600 || p.MaxReroutes != 6 {
+		t.Fatalf("defaults: %+v", p)
+	}
+	// Explicit values survive.
+	p = Params{TransportTimePerEdge: 7, MaxTime: 99, MaxReroutes: 3, WashTimePerEdge: 4}.withDefaults()
+	if p.TransportTimePerEdge != 7 || p.MaxTime != 99 || p.MaxReroutes != 3 || p.WashTimePerEdge != 4 {
+		t.Fatalf("explicit params lost: %+v", p)
+	}
+}

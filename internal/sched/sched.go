@@ -1,0 +1,180 @@
+// Package sched schedules bioassay sequencing graphs onto biochips. It
+// implements the execution-time model the paper's PSO fitness function
+// needs: list scheduling with device binding, shortest-path fluid transport
+// over the channel network, distributed channel storage (the substrate of
+// ref. [6]), and — crucially — per-snapshot validation of valve states
+// under control sharing (Section 4.1): a transport may only start if the
+// valves it must open and the valves that must stay closed around occupied
+// resources can be actuated simultaneously, which sharing can make
+// impossible.
+//
+// The scheduler is deterministic: identical inputs produce identical
+// schedules, which the PSO relies on for reproducible fitness values.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+// Params tunes the execution model.
+type Params struct {
+	// TransportTimePerEdge is the seconds a fluid sample needs to traverse
+	// one channel edge (default 2).
+	TransportTimePerEdge int
+	// MaxTime aborts the simulation as unschedulable beyond this horizon in
+	// seconds (default 24h). Valve sharing can make transports permanently
+	// infeasible; the scheduler detects true deadlock earlier, but this is
+	// the final guard.
+	MaxTime int
+	// MaxReroutes bounds the alternative paths tried per transport per
+	// attempt when conflicts arise (default 6).
+	MaxReroutes int
+	// WashTimePerEdge, when positive, models cross-contamination washing
+	// (the concern of the paper's ref. [11]): a transport that reuses a
+	// channel segment last wetted by a DIFFERENT fluid first flushes it,
+	// paying this many extra seconds per contaminated segment. 0 disables
+	// the wash model (the default, matching the paper's evaluation).
+	WashTimePerEdge int
+}
+
+func (p Params) withDefaults() Params {
+	if p.TransportTimePerEdge <= 0 {
+		p.TransportTimePerEdge = 2
+	}
+	if p.MaxTime <= 0 {
+		p.MaxTime = 24 * 3600
+	}
+	if p.MaxReroutes <= 0 {
+		p.MaxReroutes = 6
+	}
+	return p
+}
+
+// OpRecord reports when and where an operation executed.
+type OpRecord struct {
+	Op     int
+	Device int // device ID, or port ID for dispense ops
+	IsPort bool
+	Start  int
+	Finish int
+}
+
+// TransportRecord reports one fluid movement.
+type TransportRecord struct {
+	ProducerOp int
+	ConsumerOp int // -1 for storage moves
+	Edges      []int
+	Start      int
+	Finish     int
+	// WashedEdges counts the contaminated segments flushed before this
+	// transport (0 unless Params.WashTimePerEdge is set).
+	WashedEdges int
+}
+
+// Schedule is the result of a successful run.
+type Schedule struct {
+	ExecutionTime int
+	Ops           []OpRecord
+	Transports    []TransportRecord
+}
+
+// Run schedules the assay on the chip under the control assignment and
+// returns the schedule, or an error when the assay cannot complete (e.g.
+// valve sharing permanently blocks a required transport).
+func Run(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, error) {
+	sch, _, err := RunProgress(c, ctrl, g, params)
+	return sch, err
+}
+
+// RunProgress is Run that also reports how many operations completed; on
+// failure the count tells how far the schedule got before wedging, which
+// the PSO uses to grade nearly-schedulable sharing schemes.
+func RunProgress(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if ctrl == nil {
+		ctrl = chip.IndependentControl(c)
+	}
+	if ctrl.Chip() != c {
+		return nil, 0, fmt.Errorf("sched: control assignment belongs to a different chip")
+	}
+	s := newSimState(c, ctrl, g, params.withDefaults())
+	sch, err := s.run()
+	return sch, s.doneOps, err
+}
+
+// ExecutionTime is a convenience wrapper returning only the makespan; it
+// reports ok=false for unschedulable combinations (the PSO maps those to
+// quality ∞).
+func ExecutionTime(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (int, bool) {
+	sch, err := Run(c, ctrl, g, params)
+	if err != nil {
+		return 0, false
+	}
+	return sch.ExecutionTime, true
+}
+
+// --- locations ---------------------------------------------------------------
+
+type locKind int
+
+const (
+	atNode locKind = iota // device or port grid node
+	atEdge                // stored in a channel segment
+)
+
+type location struct {
+	kind locKind
+	id   int // node ID or edge ID
+}
+
+// --- op lifecycle -------------------------------------------------------------
+
+type opPhase int
+
+const (
+	phaseWaitPreds opPhase = iota
+	phaseWaitDevice
+	phaseWaitDelivery
+	phaseRunning
+	phaseDone
+)
+
+type opCtl struct {
+	phase    opPhase
+	device   int // reserved device ID (or port ID for dispense)
+	isPort   bool
+	start    int
+	finish   int
+	pending  int // deliveries still missing
+	priority int // critical-path priority (higher runs first)
+}
+
+type productCtl struct {
+	exists         bool
+	loc            location
+	totalConsumers int
+	started        int  // aliquot transports departed
+	arrived        int  // aliquots delivered
+	holdsDevice    int  // device ID still blocked by this product (-1 none)
+	holdsPort      int  // port ID still blocked (-1 none)
+	moving         bool // storage move in flight
+}
+
+type transportTask struct {
+	producer int // op whose product moves
+	consumer int // op that consumes it (-1 for storage move)
+	started  bool
+	done     bool
+}
+
+type activeTransport struct {
+	task   *transportTask
+	edges  []int
+	finish int
+	to     location
+}

@@ -1,0 +1,26 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+func benchSchedule(b *testing.B, mkChip func() *chip.Chip, mkAssay func() *assay.Graph) {
+	for i := 0; i < b.N; i++ {
+		c := mkChip()
+		g := mkAssay()
+		sch, err := Run(c, nil, g, Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(sch.ExecutionTime), "exec-s")
+		}
+	}
+}
+
+func BenchmarkScheduleIVDonIVD(b *testing.B)  { benchSchedule(b, chip.IVD, assay.IVD) }
+func BenchmarkSchedulePIDonRA30(b *testing.B) { benchSchedule(b, chip.RA30, assay.PID) }
+func BenchmarkScheduleCPAonMRNA(b *testing.B) { benchSchedule(b, chip.MRNA, assay.CPA) }

@@ -1,0 +1,418 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+// simState is the event-driven simulation. Time advances from one
+// completion event to the next; at each event time the scheduler
+// repeatedly tries to start operations and transports until a fixpoint.
+//
+// Fluid products live at a location (the device/port where they were made,
+// or a channel segment after a storage move). Each consumer receives its
+// own aliquot via a transport; the producing resource is released when the
+// last aliquot departs.
+type simState struct {
+	chip   *chip.Chip
+	ctrl   *chip.Control
+	graph  *assay.Graph
+	params Params
+
+	ops      []opCtl
+	products []productCtl
+	tasks    []*transportTask
+
+	deviceBusy []bool // running or reserved
+	portBusy   []bool
+	edgeBusy   []bool // in-flight transport occupancy
+	lastFluid  []int  // per edge: op whose product last wetted it (-1 clean)
+
+	active []*activeTransport
+
+	doneOps int
+	now     int
+
+	recOps        []OpRecord
+	recTransports []TransportRecord
+}
+
+func newSimState(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, p Params) *simState {
+	s := &simState{
+		chip:       c,
+		ctrl:       ctrl,
+		graph:      g,
+		params:     p,
+		ops:        make([]opCtl, g.NumOps()),
+		products:   make([]productCtl, g.NumOps()),
+		deviceBusy: make([]bool, len(c.Devices)),
+		portBusy:   make([]bool, len(c.Ports)),
+		edgeBusy:   make([]bool, c.Grid.NumEdges()),
+		lastFluid:  make([]int, c.Grid.NumEdges()),
+	}
+	for i := range s.lastFluid {
+		s.lastFluid[i] = -1
+	}
+	// Priorities: longest path to a leaf (classic list scheduling).
+	prio := make([]int, g.NumOps())
+	order, _ := g.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		best := 0
+		for _, v := range g.Succs(u) {
+			if prio[v] > best {
+				best = prio[v]
+			}
+		}
+		prio[u] = best + g.Op(u).Duration
+	}
+	for i := range s.ops {
+		s.ops[i] = opCtl{phase: phaseWaitPreds, device: -1, priority: prio[i]}
+		s.products[i] = productCtl{holdsDevice: -1, holdsPort: -1}
+	}
+	return s
+}
+
+func (s *simState) run() (*Schedule, error) {
+	for s.doneOps < s.graph.NumOps() {
+		if s.now > s.params.MaxTime {
+			return nil, fmt.Errorf("sched: exceeded time horizon %ds at t=%d", s.params.MaxTime, s.now)
+		}
+		for s.step() {
+		}
+		if s.doneOps == s.graph.NumOps() {
+			break
+		}
+		next := s.nextEvent()
+		if next < 0 {
+			// Nothing in flight and nothing startable: evacuate a parked
+			// product into channel storage (distributed storage, ref. [6])
+			// to break the resource wedge; give up only if even that is
+			// impossible.
+			if s.emergencyStorage() {
+				continue
+			}
+			return nil, fmt.Errorf("sched: deadlock at t=%d: %d/%d ops done", s.now, s.doneOps, s.graph.NumOps())
+		}
+		s.now = next
+		s.completeAt(next)
+	}
+	makespan := 0
+	for _, r := range s.recOps {
+		if r.Finish > makespan {
+			makespan = r.Finish
+		}
+	}
+	sort.Slice(s.recOps, func(i, j int) bool { return s.recOps[i].Op < s.recOps[j].Op })
+	return &Schedule{ExecutionTime: makespan, Ops: s.recOps, Transports: s.recTransports}, nil
+}
+
+// nextEvent returns the earliest future completion time, or -1 if nothing
+// is in flight.
+func (s *simState) nextEvent() int {
+	next := -1
+	consider := func(t int) {
+		if t > s.now && (next < 0 || t < next) {
+			next = t
+		}
+	}
+	for i := range s.ops {
+		if s.ops[i].phase == phaseRunning {
+			consider(s.ops[i].finish)
+		}
+	}
+	for _, at := range s.active {
+		consider(at.finish)
+	}
+	return next
+}
+
+// completeAt retires ops and transports finishing at time t.
+func (s *simState) completeAt(t int) {
+	for i := range s.ops {
+		oc := &s.ops[i]
+		if oc.phase != phaseRunning || oc.finish != t {
+			continue
+		}
+		oc.phase = phaseDone
+		s.doneOps++
+		nCons := len(s.graph.Succs(i))
+		pr := &s.products[i]
+		if oc.isPort {
+			if nCons > 0 {
+				pr.exists = true
+				pr.totalConsumers = nCons
+				pr.loc = location{kind: atNode, id: s.chip.Ports[oc.device].Node}
+				pr.holdsPort = oc.device
+			} else {
+				s.portBusy[oc.device] = false
+			}
+		} else {
+			if nCons > 0 {
+				pr.exists = true
+				pr.totalConsumers = nCons
+				pr.loc = location{kind: atNode, id: s.chip.Devices[oc.device].Node}
+				pr.holdsDevice = oc.device
+			} else {
+				s.deviceBusy[oc.device] = false
+			}
+		}
+	}
+	var still []*activeTransport
+	for _, at := range s.active {
+		if at.finish != t {
+			still = append(still, at)
+			continue
+		}
+		for _, e := range at.edges {
+			s.edgeBusy[e] = false
+		}
+		pr := &s.products[at.task.producer]
+		at.task.done = true
+		if at.task.consumer >= 0 {
+			s.ops[at.task.consumer].pending--
+			pr.arrived++
+			if pr.arrived >= pr.totalConsumers {
+				pr.exists = false
+			}
+		} else {
+			// Storage move: the product now rests in the destination
+			// segment or port, holding it until the last aliquot departs.
+			pr.loc = at.to
+			pr.moving = false
+			if at.to.kind == atNode {
+				if p, okPort := s.chip.PortAt(at.to.id); okPort {
+					pr.holdsPort = p.ID
+				}
+			}
+		}
+	}
+	s.active = still
+}
+
+// step attempts one round of state advancement; it reports whether
+// anything changed (run until fixpoint).
+func (s *simState) step() bool {
+	changed := false
+	// 1. Promote ops whose predecessors are all done.
+	for i := range s.ops {
+		if s.ops[i].phase != phaseWaitPreds {
+			continue
+		}
+		ready := true
+		for _, p := range s.graph.Preds(i) {
+			if s.ops[p].phase != phaseDone {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			s.ops[i].phase = phaseWaitDevice
+			changed = true
+		}
+	}
+	// 2. Bind devices in priority order.
+	for _, i := range s.opsInPhase(phaseWaitDevice) {
+		if s.bindDevice(i) {
+			changed = true
+		}
+	}
+	// 3. Start pending transports.
+	for _, task := range s.tasks {
+		if task.started || task.done {
+			continue
+		}
+		if s.tryStartTransport(task) {
+			changed = true
+		}
+	}
+	// 4. Start ops whose deliveries completed.
+	for _, i := range s.opsInPhase(phaseWaitDelivery) {
+		if s.ops[i].pending == 0 {
+			s.beginRun(i)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// opsInPhase returns the op IDs in the given phase, highest priority first
+// (ties by ID) — the list-scheduling order.
+func (s *simState) opsInPhase(ph opPhase) []int {
+	var out []int
+	for i := range s.ops {
+		if s.ops[i].phase == ph {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := s.ops[out[a]].priority, s.ops[out[b]].priority
+		if pa != pb {
+			return pa > pb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// bindDevice reserves an execution resource for op i and creates delivery
+// tasks for its predecessors' products.
+func (s *simState) bindDevice(i int) bool {
+	op := s.graph.Op(i)
+	if op.Kind == assay.Dispense {
+		// Work-in-progress throttle: dispensing far ahead of the mixing
+		// tree floods devices and channel storage with waiting products
+		// (CPA has 24 dispenses for a handful of devices). A dispense may
+		// start only when its product is consumable soon, or when the chip
+		// has headroom.
+		if !s.dispenseUseful(i) && s.liveProducts() >= len(s.chip.Devices) {
+			return false
+		}
+		p := s.freePort()
+		if p < 0 {
+			return false
+		}
+		s.portBusy[p] = true
+		oc := &s.ops[i]
+		oc.device = p
+		oc.isPort = true
+		oc.phase = phaseWaitDelivery
+		oc.pending = 0
+		return true
+	}
+	kind := chip.Mixer
+	if op.Kind == assay.Detect {
+		kind = chip.Detector
+	}
+	d := s.pickDevice(kind, i)
+	if d < 0 {
+		return false
+	}
+	s.deviceBusy[d] = true
+	oc := &s.ops[i]
+	oc.device = d
+	oc.isPort = false
+	oc.phase = phaseWaitDelivery
+	oc.pending = 0
+	for _, p := range s.graph.Preds(i) {
+		// Zero-distance delivery: the product already sits on this device.
+		pr := &s.products[p]
+		if pr.exists && pr.loc.kind == atNode && pr.loc.id == s.chip.Devices[d].Node {
+			s.consumeInPlace(p, d)
+			continue
+		}
+		s.tasks = append(s.tasks, &transportTask{producer: p, consumer: i})
+		oc.pending++
+	}
+	return true
+}
+
+// consumeInPlace serves a consumer that bound the very device holding the
+// product: no transport is needed.
+func (s *simState) consumeInPlace(producer, device int) {
+	pr := &s.products[producer]
+	pr.started++
+	pr.arrived++
+	if pr.started >= pr.totalConsumers {
+		s.releaseHold(producer)
+	}
+	if pr.arrived >= pr.totalConsumers {
+		pr.exists = false
+	}
+	_ = device
+}
+
+// releaseHold frees the resource a product has been parked on (called when
+// its last aliquot departs).
+func (s *simState) releaseHold(producer int) {
+	pr := &s.products[producer]
+	if pr.holdsDevice >= 0 {
+		s.deviceBusy[pr.holdsDevice] = false
+		pr.holdsDevice = -1
+	}
+	if pr.holdsPort >= 0 {
+		s.portBusy[pr.holdsPort] = false
+		pr.holdsPort = -1
+	}
+}
+
+// dispenseUseful reports whether some consumer of dispense op i has every
+// other predecessor finished — meaning the dispensed product unblocks an
+// operation immediately.
+func (s *simState) dispenseUseful(i int) bool {
+	for _, succ := range s.graph.Succs(i) {
+		ready := true
+		for _, p := range s.graph.Preds(succ) {
+			if p == i {
+				continue
+			}
+			if s.ops[p].phase != phaseDone {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return true
+		}
+	}
+	return false
+}
+
+// liveProducts counts products that exist and have not been fully consumed.
+func (s *simState) liveProducts() int {
+	n := 0
+	for i := range s.products {
+		if s.products[i].exists {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *simState) freePort() int {
+	for p := range s.chip.Ports {
+		if !s.portBusy[p] {
+			return p
+		}
+	}
+	return -1
+}
+
+// pickDevice returns a device of the kind usable by op i: a genuinely free
+// one, or one held exclusively by a product that only op i consumes (so the
+// op can run in place). Returns -1 if none.
+func (s *simState) pickDevice(kind chip.DeviceKind, op int) int {
+	// Prefer in-place reuse: a device held by a single-consumer pred
+	// product of this op.
+	for _, p := range s.graph.Preds(op) {
+		pr := &s.products[p]
+		if pr.exists && pr.holdsDevice >= 0 && pr.totalConsumers-pr.started == 1 &&
+			s.chip.Devices[pr.holdsDevice].Kind == kind {
+			d := pr.holdsDevice
+			// Un-hold; bindDevice will re-busy it and consume in place.
+			s.deviceBusy[d] = false
+			pr.holdsDevice = -1
+			return d
+		}
+	}
+	for _, d := range s.chip.Devices {
+		if d.Kind == kind && !s.deviceBusy[d.ID] {
+			return d.ID
+		}
+	}
+	return -1
+}
+
+// beginRun starts op i on its reserved resource.
+func (s *simState) beginRun(i int) {
+	oc := &s.ops[i]
+	oc.phase = phaseRunning
+	oc.start = s.now
+	oc.finish = s.now + s.graph.Op(i).Duration
+	s.recOps = append(s.recOps, OpRecord{
+		Op: i, Device: oc.device, IsPort: oc.isPort, Start: oc.start, Finish: oc.finish,
+	})
+}

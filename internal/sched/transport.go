@@ -1,0 +1,487 @@
+package sched
+
+import (
+	"sort"
+)
+
+// tryStartTransport attempts to launch the fluid movement for a pending
+// task at the current time. It returns true when the transport started.
+func (s *simState) tryStartTransport(task *transportTask) bool {
+	pr := &s.products[task.producer]
+	if !pr.exists || pr.moving {
+		return false
+	}
+	if task.consumer < 0 {
+		return s.tryStartStorageMove(task)
+	}
+	oc := &s.ops[task.consumer]
+	toNode := s.chip.Devices[oc.device].Node
+	if oc.isPort {
+		toNode = s.chip.Ports[oc.device].Node
+	}
+	edges, ok := s.routeAndValidate(pr.loc, location{kind: atNode, id: toNode}, task.producer)
+	if !ok {
+		return false
+	}
+	s.launch(task, edges, location{kind: atNode, id: toNode})
+	return true
+}
+
+// launch commits a transport: occupies edges, updates product bookkeeping,
+// and records it. With the wash model enabled, segments last wetted by a
+// different fluid are flushed first, extending the transport.
+func (s *simState) launch(task *transportTask, edges []int, to location) {
+	pr := &s.products[task.producer]
+	dur := len(edges) * s.params.TransportTimePerEdge
+	washed := 0
+	if s.params.WashTimePerEdge > 0 {
+		for _, e := range edges {
+			if s.lastFluid[e] >= 0 && s.lastFluid[e] != task.producer {
+				washed++
+			}
+		}
+		dur += washed * s.params.WashTimePerEdge
+	}
+	for _, e := range edges {
+		s.lastFluid[e] = task.producer
+	}
+	if dur == 0 {
+		dur = 1 // same-node move still takes a beat
+	}
+	at := &activeTransport{
+		task:   task,
+		edges:  edges,
+		finish: s.now + dur,
+		to:     to,
+	}
+	for _, e := range edges {
+		s.edgeBusy[e] = true
+	}
+	task.started = true
+	if task.consumer >= 0 {
+		pr.started++
+		if pr.started >= pr.totalConsumers {
+			s.releaseHold(task.producer)
+		}
+	} else {
+		pr.moving = true
+		s.releaseHold(task.producer)
+	}
+	s.active = append(s.active, at)
+	s.recTransports = append(s.recTransports, TransportRecord{
+		ProducerOp:  task.producer,
+		ConsumerOp:  task.consumer,
+		Edges:       edges,
+		Start:       s.now,
+		Finish:      at.finish,
+		WashedEdges: washed,
+	})
+}
+
+// routeAndValidate finds a path for moving product `producer` from `from`
+// to `to` that is free right now and whose valve demands are compatible
+// with every in-flight transport, stored product and occupied resource
+// under the control assignment (sharing included). It retries with
+// penalized edges when the only obstacle is a control conflict.
+func (s *simState) routeAndValidate(from, to location, producer int) ([]int, bool) {
+	penalty := make(map[int]float64)
+	for attempt := 0; attempt < s.params.MaxReroutes; attempt++ {
+		edges, ok := s.findPath(from, to, producer, penalty)
+		if !ok {
+			return nil, false
+		}
+		if s.conflictFree(edges, from, to, producer) {
+			return edges, true
+		}
+		for _, e := range edges {
+			penalty[e] += 10
+		}
+	}
+	return nil, false
+}
+
+// findPath computes a minimum-cost path of channel edges between two
+// locations, avoiding busy edges and segments holding other products.
+// Occupied device nodes do NOT block a path: a device chamber is sealed by
+// its own valves and the junction at its node routes fluid around it (the
+// bypass switches of Fig. 1(b)); contamination is enforced at the valve
+// level by conflictFree.
+func (s *simState) findPath(from, to location, producer int, penalty map[int]float64) ([]int, bool) {
+	g := s.chip.Grid.Graph()
+	fromNodes := s.locationNodes(from)
+	toNodes := s.locationNodes(to)
+	weight := func(e int) float64 {
+		if _, valved := s.chip.ValveOnEdge(e); !valved {
+			return -1
+		}
+		if s.edgeBusy[e] {
+			return -1
+		}
+		if holder, held := s.edgeHolder(e); held && holder != producer {
+			return -1
+		}
+		return 1 + penalty[e]
+	}
+	best := []int(nil)
+	bestCost := -1.0
+	for _, fn := range fromNodes {
+		for _, tn := range toNodes {
+			_, edges, cost, ok := g.WeightedShortestPath(fn, tn, weight)
+			if !ok {
+				continue
+			}
+			if bestCost < 0 || cost < bestCost {
+				best, bestCost = edges, cost
+			}
+		}
+	}
+	if bestCost < 0 {
+		return nil, false
+	}
+	// Moving out of (or into) a stored segment traverses that segment too.
+	if from.kind == atEdge && (len(best) == 0 || best[0] != from.id) {
+		best = append([]int{from.id}, best...)
+	}
+	if to.kind == atEdge && (len(best) == 0 || best[len(best)-1] != to.id) {
+		best = append(best, to.id)
+	}
+	return best, true
+}
+
+// locationNodes returns the grid nodes a location touches.
+func (s *simState) locationNodes(l location) []int {
+	if l.kind == atNode {
+		return []int{l.id}
+	}
+	u, v := s.chip.Grid.Graph().Endpoints(l.id)
+	return []int{u, v}
+}
+
+// edgeHolder reports whether a channel segment currently stores a product.
+func (s *simState) edgeHolder(e int) (producer int, held bool) {
+	for i := range s.products {
+		pr := &s.products[i]
+		if pr.exists && pr.loc.kind == atEdge && pr.loc.id == e {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// occupiedNodes returns the grid nodes that hold fluid right now: devices
+// and ports with a running operation or a parked product. Reserved-but-idle
+// devices are passable — fluid may traverse an empty chamber — which keeps
+// sparse chips deadlock-free.
+func (s *simState) occupiedNodes() map[int]bool {
+	out := make(map[int]bool)
+	for i := range s.ops {
+		oc := &s.ops[i]
+		if oc.phase != phaseRunning {
+			continue
+		}
+		if oc.isPort {
+			out[s.chip.Ports[oc.device].Node] = true
+		} else {
+			out[s.chip.Devices[oc.device].Node] = true
+		}
+	}
+	for i := range s.products {
+		pr := &s.products[i]
+		if !pr.exists {
+			continue
+		}
+		if pr.holdsDevice >= 0 {
+			out[s.chip.Devices[pr.holdsDevice].Node] = true
+		}
+		if pr.holdsPort >= 0 {
+			out[s.chip.Ports[pr.holdsPort].Node] = true
+		}
+	}
+	return out
+}
+
+// conflictFree validates the valve snapshot if `edges` were opened now for
+// a movement of `producer` from `from` to `to`, alongside all active
+// transports, stored products and occupied resources (Section 4.1 of the
+// paper). It returns false when any control line would need to be both
+// open and closed — the contamination/blocking hazard of valve sharing.
+func (s *simState) conflictFree(edges []int, from, to location, producer int) bool {
+	n := s.chip.NumValves()
+	reqOpen := make([]bool, n)
+	reqClosed := make([]bool, n)
+
+	type member struct {
+		edges   []int
+		nodes   map[int]bool
+		ends    map[int]bool
+		product int
+	}
+	var members []member
+	mk := func(edges []int, from, to location, product int) member {
+		g := s.chip.Grid.Graph()
+		m := member{edges: edges, nodes: map[int]bool{}, ends: map[int]bool{}, product: product}
+		for _, e := range edges {
+			u, v := g.Endpoints(e)
+			m.nodes[u] = true
+			m.nodes[v] = true
+		}
+		for _, nd := range s.locationNodes(from) {
+			m.ends[nd] = true
+		}
+		for _, nd := range s.locationNodes(to) {
+			m.ends[nd] = true
+		}
+		return m
+	}
+	members = append(members, mk(edges, from, to, producer))
+	for _, at := range s.active {
+		atFrom := s.products[at.task.producer].loc
+		members = append(members, mk(at.edges, atFrom, at.to, at.task.producer))
+	}
+
+	g := s.chip.Grid.Graph()
+	for _, m := range members {
+		own := make(map[int]bool, len(m.edges))
+		for _, e := range m.edges {
+			own[e] = true
+			v, _ := s.chip.ValveOnEdge(e)
+			reqOpen[v] = true
+		}
+		// Contamination guard: every off-path channel edge incident to a
+		// path node must stay closed.
+		for nd := range m.nodes {
+			for _, e2 := range g.IncidentEdges(nd) {
+				if own[e2] {
+					continue
+				}
+				if v, ok := s.chip.ValveOnEdge(e2); ok {
+					reqClosed[v] = true
+				}
+			}
+		}
+	}
+	// Stored products keep their segment sealed, except the one being moved.
+	for i := range s.products {
+		pr := &s.products[i]
+		if !pr.exists || pr.loc.kind != atEdge {
+			continue
+		}
+		onMove := false
+		for _, m := range members {
+			if m.product == i {
+				onMove = true
+				break
+			}
+		}
+		if onMove {
+			continue
+		}
+		if v, ok := s.chip.ValveOnEdge(pr.loc.id); ok {
+			reqClosed[v] = true
+		}
+	}
+	// Conflicts: a control line demanded both open and closed by the
+	// constraints above — a path valve whose shared partner must seal an
+	// adjacent branch (the Fig. 6 hazard), two adjacent concurrent
+	// transports, or a stored segment pried open by sharing. Forced-open
+	// valves far away from every active path are harmless: a dead-end
+	// branch carries no pressure-driven flow.
+	return len(s.ctrl.Conflicts(reqOpen, reqClosed)) == 0
+}
+
+// --- channel storage ----------------------------------------------------------
+
+// emergencyStorage fires only when the simulation is wedged (nothing
+// running, nothing startable): it evacuates one held product into a free
+// channel segment (distributed channel storage, ref. [6]) to release its
+// device or port. It returns true iff a storage move actually started.
+func (s *simState) emergencyStorage() bool {
+	// First choice: evacuate a product holding a device or port. Second
+	// choice: re-park a stored product whose segment seal may be wedging
+	// the chip (its control line could be forcing a partner valve shut).
+	var holders, stored []int
+	for i := range s.products {
+		pr := &s.products[i]
+		if !pr.exists || pr.started > 0 || pr.moving {
+			continue
+		}
+		switch {
+		case pr.holdsDevice >= 0 || pr.holdsPort >= 0:
+			holders = append(holders, i)
+		case pr.loc.kind == atEdge:
+			stored = append(stored, i)
+		}
+	}
+	sort.Ints(holders)
+	sort.Ints(stored)
+	for _, i := range append(holders, stored...) {
+		task := &transportTask{producer: i, consumer: -1}
+		if s.tryStartTransport(task) {
+			s.tasks = append(s.tasks, task)
+			return true
+		}
+	}
+	return false
+}
+
+// tryStartStorageMove routes a held or stored product to the best free
+// parking segment near it (stored products may be re-parked when their
+// current segment's seal wedges the chip).
+func (s *simState) tryStartStorageMove(task *transportTask) bool {
+	pr := &s.products[task.producer]
+	if pr.started > 0 {
+		task.done = true // aliquots already departing; storage no longer needed
+		return false
+	}
+	fromNode := pr.loc.id
+	if pr.loc.kind == atEdge {
+		fromNode, _ = s.chip.Grid.Graph().Endpoints(pr.loc.id)
+	}
+	if target, ok := s.pickParkingEdge(fromNode, task.producer); ok && !(pr.loc.kind == atEdge && target == pr.loc.id) {
+		to := location{kind: atEdge, id: target}
+		if edges, ok2 := s.routeAndValidate(pr.loc, to, task.producer); ok2 {
+			if pr.loc.kind == atEdge {
+				// The old segment frees once the move completes; while
+				// moving, the fluid occupies the path (including the old
+				// segment).
+				pr.loc = location{kind: atNode, id: fromNode}
+			}
+			s.launch(task, edges, to)
+			return true
+		}
+	}
+	// Fallback tier: park the product at a free external port — a vial
+	// waiting at the chip boundary.
+	if pr.holdsPort >= 0 {
+		return false // already at a port; nothing gained
+	}
+	for p := range s.chip.Ports {
+		if s.portBusy[p] {
+			continue
+		}
+		to := location{kind: atNode, id: s.chip.Ports[p].Node}
+		edges, ok2 := s.routeAndValidate(pr.loc, to, task.producer)
+		if !ok2 {
+			continue
+		}
+		if pr.loc.kind == atEdge {
+			pr.loc = location{kind: atNode, id: fromNode}
+		}
+		s.portBusy[p] = true // reserved for the incoming fluid
+		s.launch(task, edges, to)
+		return true
+	}
+	return false
+}
+
+// pickParkingEdge selects the closest free channel segment that is not a
+// doorstep of any device or port (parking there would block it).
+func (s *simState) pickParkingEdge(fromNode, producer int) (int, bool) {
+	g := s.chip.Grid.Graph()
+	resourceNode := make(map[int]bool)
+	for _, d := range s.chip.Devices {
+		resourceNode[d.Node] = true
+	}
+	for _, p := range s.chip.Ports {
+		resourceNode[p.Node] = true
+	}
+	dist := g.BFSFrom(fromNode, func(e int) bool {
+		if _, ok := s.chip.ValveOnEdge(e); !ok {
+			return false
+		}
+		if s.edgeBusy[e] {
+			return false
+		}
+		if _, held := s.edgeHolder(e); held {
+			return false
+		}
+		return true
+	})
+	// Two passes: prefer segments away from any device/port doorstep, but
+	// fall back to doorstep parking on sparse chips where every channel
+	// edge touches a resource node. A segment is only eligible if blocking
+	// it (together with all currently stored segments) leaves every device
+	// and port mutually reachable — otherwise parked fluid would wall off
+	// part of the chip and deadlock the schedule.
+	for pass := 0; pass < 2; pass++ {
+		best, bestD := -1, -1
+		for e := 0; e < g.NumEdges(); e++ {
+			valve, okValve := s.chip.ValveOnEdge(e)
+			if !okValve {
+				continue
+			}
+			if len(s.ctrl.SharedWith(valve)) > 0 {
+				// Never park on a shared-line segment: its seal would
+				// force the partner valve closed for the whole storage
+				// period and starve transports that need it.
+				continue
+			}
+			if s.edgeBusy[e] {
+				continue
+			}
+			if _, held := s.edgeHolder(e); held {
+				continue
+			}
+			u, v := g.Endpoints(e)
+			if pass == 0 && (resourceNode[u] || resourceNode[v]) {
+				continue
+			}
+			d := dist[u]
+			if dist[v] >= 0 && (d < 0 || dist[v] < d) {
+				d = dist[v]
+			}
+			if d < 0 {
+				continue // unreachable
+			}
+			if (best < 0 || d < bestD || (d == bestD && e < best)) && s.parkingKeepsConnectivity(e) {
+				best, bestD = e, d
+			}
+		}
+		if best >= 0 {
+			return best, true
+		}
+	}
+	return -1, false
+}
+
+// parkingKeepsConnectivity reports whether storing fluid on edge e (in
+// addition to every segment already storing fluid) keeps the chip live:
+// all devices and ports must remain mutually connected (a walled-off port
+// strands any product waiting there), and every stored segment (including
+// e) must keep an endpoint on that component so its fluid can be fetched.
+func (s *simState) parkingKeepsConnectivity(e int) bool {
+	g := s.chip.Grid.Graph()
+	stored := map[int]bool{e: true}
+	for i := range s.products {
+		pr := &s.products[i]
+		if pr.exists && pr.loc.kind == atEdge {
+			stored[pr.loc.id] = true
+		}
+	}
+	allow := func(e2 int) bool {
+		if stored[e2] {
+			return false
+		}
+		_, ok := s.chip.ValveOnEdge(e2)
+		return ok
+	}
+	ref := s.chip.Devices[0].Node
+	dist := g.BFSFrom(ref, allow)
+	for _, d := range s.chip.Devices {
+		if dist[d.Node] < 0 {
+			return false
+		}
+	}
+	for _, p := range s.chip.Ports {
+		if dist[p.Node] < 0 {
+			return false
+		}
+	}
+	for se := range stored {
+		u, v := g.Endpoints(se)
+		if dist[u] < 0 && dist[v] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+// ValidateSchedule checks a schedule against the chip and assay it claims
+// to implement. It verifies the invariants any physically meaningful
+// schedule must satisfy:
+//
+//   - every operation appears exactly once, with the correct duration and
+//     a resource of the right kind;
+//   - precedence: no operation starts before all of its predecessors have
+//     finished;
+//   - device exclusivity: operations overlapping in time use different
+//     devices/ports;
+//   - transport exclusivity: transports overlapping in time use disjoint
+//     channel edges, and every transport path consists of valved edges;
+//   - the reported execution time equals the latest finish.
+//
+// It returns nil when all invariants hold.
+func ValidateSchedule(c *chip.Chip, g *assay.Graph, sch *Schedule) error {
+	if sch == nil {
+		return fmt.Errorf("sched: nil schedule")
+	}
+	if len(sch.Ops) != g.NumOps() {
+		return fmt.Errorf("sched: %d op records for %d operations", len(sch.Ops), g.NumOps())
+	}
+	seen := make([]bool, g.NumOps())
+	start := make([]int, g.NumOps())
+	finish := make([]int, g.NumOps())
+	maxFinish := 0
+	for _, r := range sch.Ops {
+		if r.Op < 0 || r.Op >= g.NumOps() {
+			return fmt.Errorf("sched: op record references unknown op %d", r.Op)
+		}
+		if seen[r.Op] {
+			return fmt.Errorf("sched: op %d scheduled twice", r.Op)
+		}
+		seen[r.Op] = true
+		op := g.Op(r.Op)
+		if r.Finish-r.Start != op.Duration {
+			return fmt.Errorf("sched: op %d ran %ds, duration is %ds", r.Op, r.Finish-r.Start, op.Duration)
+		}
+		if r.Start < 0 {
+			return fmt.Errorf("sched: op %d starts at negative time %d", r.Op, r.Start)
+		}
+		if err := checkResourceKind(c, op, r); err != nil {
+			return err
+		}
+		start[r.Op], finish[r.Op] = r.Start, r.Finish
+		if r.Finish > maxFinish {
+			maxFinish = r.Finish
+		}
+	}
+	for _, op := range g.Ops() {
+		for _, succ := range g.Succs(op.ID) {
+			if start[succ] < finish[op.ID] {
+				return fmt.Errorf("sched: op %d starts at %d before predecessor %d finishes at %d",
+					succ, start[succ], op.ID, finish[op.ID])
+			}
+		}
+	}
+	for i, a := range sch.Ops {
+		for _, b := range sch.Ops[i+1:] {
+			if a.IsPort != b.IsPort || a.Device != b.Device {
+				continue
+			}
+			if a.Start < b.Finish && b.Start < a.Finish {
+				return fmt.Errorf("sched: ops %d and %d overlap on resource %d", a.Op, b.Op, a.Device)
+			}
+		}
+	}
+	for i, a := range sch.Transports {
+		for _, e := range a.Edges {
+			if _, ok := c.ValveOnEdge(e); !ok {
+				return fmt.Errorf("sched: transport %d uses unvalved edge %d", i, e)
+			}
+		}
+		for _, b := range sch.Transports[i+1:] {
+			if a.Start >= b.Finish || b.Start >= a.Finish {
+				continue
+			}
+			inA := make(map[int]bool, len(a.Edges))
+			for _, e := range a.Edges {
+				inA[e] = true
+			}
+			for _, e := range b.Edges {
+				if inA[e] {
+					return fmt.Errorf("sched: concurrent transports share edge %d", e)
+				}
+			}
+		}
+	}
+	if sch.ExecutionTime != maxFinish {
+		return fmt.Errorf("sched: execution time %d != latest finish %d", sch.ExecutionTime, maxFinish)
+	}
+	return nil
+}
+
+func checkResourceKind(c *chip.Chip, op assay.Op, r OpRecord) error {
+	switch op.Kind {
+	case assay.Dispense:
+		if !r.IsPort {
+			return fmt.Errorf("sched: dispense op %d ran on a device", op.ID)
+		}
+		if r.Device < 0 || r.Device >= len(c.Ports) {
+			return fmt.Errorf("sched: dispense op %d on unknown port %d", op.ID, r.Device)
+		}
+	case assay.Mix:
+		if r.IsPort {
+			return fmt.Errorf("sched: mix op %d ran on a port", op.ID)
+		}
+		if r.Device < 0 || r.Device >= len(c.Devices) || c.Devices[r.Device].Kind != chip.Mixer {
+			return fmt.Errorf("sched: mix op %d bound to non-mixer %d", op.ID, r.Device)
+		}
+	case assay.Detect:
+		if r.IsPort {
+			return fmt.Errorf("sched: detect op %d ran on a port", op.ID)
+		}
+		if r.Device < 0 || r.Device >= len(c.Devices) || c.Devices[r.Device].Kind != chip.Detector {
+			return fmt.Errorf("sched: detect op %d bound to non-detector %d", op.ID, r.Device)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+func TestValidateAcceptsRealSchedules(t *testing.T) {
+	for _, c := range chip.Benchmarks() {
+		for _, g := range assay.Benchmarks() {
+			sch, err := Run(c, nil, g, Params{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.Name, g.Name, err)
+			}
+			if err := ValidateSchedule(c, g, sch); err != nil {
+				t.Errorf("%s/%s: %v", c.Name, g.Name, err)
+			}
+		}
+	}
+}
+
+func validBase(t *testing.T) (*chip.Chip, *assay.Graph, *Schedule) {
+	t.Helper()
+	c := chip.IVD()
+	g := assay.IVD()
+	sch, err := Run(c, nil, g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g, sch
+}
+
+func cloneSchedule(s *Schedule) *Schedule {
+	out := &Schedule{ExecutionTime: s.ExecutionTime}
+	out.Ops = append([]OpRecord(nil), s.Ops...)
+	out.Transports = append([]TransportRecord(nil), s.Transports...)
+	return out
+}
+
+func TestValidateRejectsNil(t *testing.T) {
+	c, g, _ := validBase(t)
+	if err := ValidateSchedule(c, g, nil); err == nil {
+		t.Fatal("nil schedule must fail")
+	}
+}
+
+func TestValidateRejectsMissingOp(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	bad.Ops = bad.Ops[1:]
+	if err := ValidateSchedule(c, g, bad); err == nil {
+		t.Fatal("missing op must fail")
+	}
+}
+
+func TestValidateRejectsDuplicateOp(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	bad.Ops[1] = bad.Ops[0]
+	if err := ValidateSchedule(c, g, bad); err == nil {
+		t.Fatal("duplicate op must fail")
+	}
+}
+
+func TestValidateRejectsWrongDuration(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	bad.Ops[0].Finish += 5
+	if err := ValidateSchedule(c, g, bad); err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Fatalf("wrong duration must fail with duration message, got %v", err)
+	}
+}
+
+func TestValidateRejectsPrecedenceViolation(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	// Find an op with a predecessor and slide it before the pred.
+	for i, r := range bad.Ops {
+		if len(g.Preds(r.Op)) > 0 {
+			d := g.Op(r.Op).Duration
+			bad.Ops[i].Start = 0
+			bad.Ops[i].Finish = d
+			break
+		}
+	}
+	if err := ValidateSchedule(c, g, bad); err == nil {
+		t.Fatal("precedence violation must fail")
+	}
+}
+
+func TestValidateRejectsDeviceOverlap(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	// Force two mix ops onto the same device at the same time.
+	var mixIdx []int
+	for i, r := range bad.Ops {
+		if g.Op(r.Op).Kind == assay.Mix {
+			mixIdx = append(mixIdx, i)
+		}
+	}
+	if len(mixIdx) < 2 {
+		t.Skip("need two mixes")
+	}
+	a, b := mixIdx[0], mixIdx[1]
+	bad.Ops[b].Device = bad.Ops[a].Device
+	bad.Ops[b].Start = bad.Ops[a].Start
+	bad.Ops[b].Finish = bad.Ops[a].Start + g.Op(bad.Ops[b].Op).Duration
+	if err := ValidateSchedule(c, g, bad); err == nil {
+		t.Fatal("device overlap must fail")
+	}
+}
+
+func TestValidateRejectsWrongResourceKind(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	for i, r := range bad.Ops {
+		if g.Op(r.Op).Kind == assay.Mix {
+			// Point the mix at a detector.
+			for _, d := range c.Devices {
+				if d.Kind == chip.Detector {
+					bad.Ops[i].Device = d.ID
+					break
+				}
+			}
+			break
+		}
+	}
+	if err := ValidateSchedule(c, g, bad); err == nil {
+		t.Fatal("mix on detector must fail")
+	}
+}
+
+func TestValidateRejectsSharedTransportEdge(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	if len(bad.Transports) < 2 {
+		t.Skip("need two transports")
+	}
+	// Make transport 1 overlap transport 0 in time and share its edges.
+	bad.Transports[1].Edges = bad.Transports[0].Edges
+	bad.Transports[1].Start = bad.Transports[0].Start
+	bad.Transports[1].Finish = bad.Transports[0].Finish
+	if err := ValidateSchedule(c, g, bad); err == nil {
+		t.Fatal("shared transport edge must fail")
+	}
+}
+
+func TestValidateRejectsWrongExecutionTime(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	bad.ExecutionTime += 7
+	if err := ValidateSchedule(c, g, bad); err == nil {
+		t.Fatal("wrong makespan must fail")
+	}
+}
+
+func TestValidateRejectsUnvalvedTransportEdge(t *testing.T) {
+	c, g, sch := validBase(t)
+	bad := cloneSchedule(sch)
+	if len(bad.Transports) == 0 {
+		t.Skip("no transports")
+	}
+	// Find a free (unvalved) grid edge.
+	free := -1
+	for e := 0; e < c.Grid.NumEdges(); e++ {
+		if _, ok := c.ValveOnEdge(e); !ok {
+			free = e
+			break
+		}
+	}
+	bad.Transports[0].Edges = append([]int(nil), bad.Transports[0].Edges...)
+	bad.Transports[0].Edges[0] = free
+	if err := ValidateSchedule(c, g, bad); err == nil {
+		t.Fatal("unvalved transport edge must fail")
+	}
+}

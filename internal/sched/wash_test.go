@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+func TestWashDisabledByDefault(t *testing.T) {
+	sch := mustRun(t, chip.IVD(), nil, assay.PID())
+	for _, tr := range sch.Transports {
+		if tr.WashedEdges != 0 {
+			t.Fatalf("wash disabled but transport reports %d washed edges", tr.WashedEdges)
+		}
+	}
+}
+
+func TestWashExtendsExecution(t *testing.T) {
+	base, err := Run(chip.IVD(), nil, assay.PID(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	washed, err := Run(chip.IVD(), nil, assay.PID(), Params{WashTimePerEdge: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PID's dilution chain reuses the same channels with different fluids
+	// constantly; washing must cost time.
+	if washed.ExecutionTime <= base.ExecutionTime {
+		t.Fatalf("wash model did not extend execution: %d vs %d", washed.ExecutionTime, base.ExecutionTime)
+	}
+	totalWashed := 0
+	for _, tr := range washed.Transports {
+		totalWashed += tr.WashedEdges
+	}
+	if totalWashed == 0 {
+		t.Fatal("expected contaminated segments on the PID chain")
+	}
+	if err := ValidateSchedule(chip.IVD(), assay.PID(), washed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWashSameFluidIsFree(t *testing.T) {
+	// A single mix -> detect chain moves one fluid once; the first use of
+	// every segment is clean, so washing costs nothing.
+	c := lineChip(t)
+	sch, err := Run(c, nil, miniAssay(), Params{WashTimePerEdge: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range sch.Transports {
+		if tr.WashedEdges != 0 {
+			t.Fatalf("clean first-use transport reports %d washed edges", tr.WashedEdges)
+		}
+	}
+	base, err := Run(c, nil, miniAssay(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.ExecutionTime != base.ExecutionTime {
+		t.Fatalf("no contamination, but wash changed execution: %d vs %d", sch.ExecutionTime, base.ExecutionTime)
+	}
+}

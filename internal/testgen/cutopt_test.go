@@ -1,0 +1,67 @@
+package testgen
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/fault"
+)
+
+func TestOptimalCutsCoverAllBenchmarks(t *testing.T) {
+	for _, c := range chip.Benchmarks() {
+		aug, err := AugmentHeuristic(c, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		cuts, err := GenerateCutsOptimal(aug.Chip, aug.Source, aug.Meter)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		sim := fault.NewSimulator(aug.Chip, chip.IndependentControl(aug.Chip))
+		var faults []fault.Fault
+		for v := 0; v < aug.Chip.NumValves(); v++ {
+			faults = append(faults, fault.Fault{Kind: fault.StuckAt1, Valve: v})
+		}
+		cov := sim.EvaluateCoverage(cuts, faults)
+		if !cov.Full() {
+			t.Errorf("%s: optimal cuts coverage %v (undetected %v)", c.Name, cov, cov.Undetected)
+		}
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	for _, c := range chip.Benchmarks() {
+		aug, err := AugmentHeuristic(c, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		greedy, err := GenerateCuts(aug.Chip, aug.Source, aug.Meter)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		optimal, err := GenerateCutsOptimal(aug.Chip, aug.Source, aug.Meter)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if len(optimal) > len(greedy) {
+			t.Errorf("%s: optimal %d cuts > greedy %d", c.Name, len(optimal), len(greedy))
+		}
+		t.Logf("%s: greedy %d cuts, optimal %d cuts", c.Name, len(greedy), len(optimal))
+	}
+}
+
+func TestCandidateEnumerationProducesAlternatives(t *testing.T) {
+	c := chip.RA30()
+	aug, err := AugmentHeuristic(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := enumerateCutCandidates(aug.Chip, aug.Source, aug.Meter, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one candidate per valve; usually more.
+	if len(cands) < aug.Chip.NumValves() {
+		t.Fatalf("%d candidates for %d valves", len(cands), aug.Chip.NumValves())
+	}
+}

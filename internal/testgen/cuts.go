@@ -1,0 +1,127 @@
+package testgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/graphalg"
+)
+
+// GenerateCuts produces a set of test-cut vectors between ports src and dst
+// that together detect a stuck-at-1 fault on every valve of the chip. For
+// each valve the generator finds a separating valve set containing it whose
+// closure still leaves a pressure leak path through the valve (otherwise
+// the defect would be undetectable); a greedy set cover then minimizes the
+// number of cut vectors, the complementary problem the paper describes in
+// Section 3.
+//
+// Detection is certified by fault simulation under independent control;
+// sharing-induced masking is re-checked by the caller with its own control
+// assignment.
+func GenerateCuts(c *chip.Chip, src, dst int) ([]fault.Vector, error) {
+	sim := fault.NewSimulator(c, chip.IndependentControl(c))
+	srcNode, dstNode := c.Ports[src].Node, c.Ports[dst].Node
+	g := c.Grid.Graph()
+	channelOnly := func(e int) bool {
+		_, ok := c.ValveOnEdge(e)
+		return ok
+	}
+
+	// One candidate cut per valve, then greedy cover.
+	type candidate struct {
+		vector  fault.Vector
+		detects []int // valves whose stuck-at-1 this cut provably detects
+	}
+	var cands []candidate
+	covered := make([]bool, c.NumValves())
+
+	detectsOf := func(v fault.Vector) []int {
+		var out []int
+		for _, valve := range v.Valves {
+			if sim.Detects(v, fault.Fault{Kind: fault.StuckAt1, Valve: valve}) {
+				out = append(out, valve)
+			}
+		}
+		return out
+	}
+
+	for valve := 0; valve < c.NumValves(); valve++ {
+		edge := c.Valve(valve).Edge
+		cutEdges, err := cutThroughWithLeak(g, srcNode, dstNode, edge, channelOnly)
+		if err != nil {
+			return nil, fmt.Errorf("testgen: no detecting cut for valve %d: %w", valve, err)
+		}
+		valves := make([]int, 0, len(cutEdges))
+		for _, e := range cutEdges {
+			cv, ok := c.ValveOnEdge(e)
+			if !ok {
+				return nil, fmt.Errorf("testgen: cut edge %d has no valve", e)
+			}
+			valves = append(valves, cv)
+		}
+		sort.Ints(valves)
+		vec := fault.Vector{Kind: fault.CutVector, Valves: valves, Sources: []int{src}, Meters: []int{dst}}
+		if !sim.FaultFreeOK(vec) {
+			return nil, fmt.Errorf("testgen: cut for valve %d does not separate", valve)
+		}
+		det := detectsOf(vec)
+		if !containsInt(det, valve) {
+			return nil, fmt.Errorf("testgen: cut for valve %d does not detect it", valve)
+		}
+		cands = append(cands, candidate{vector: vec, detects: det})
+	}
+
+	// Greedy set cover over candidate cuts.
+	var out []fault.Vector
+	for {
+		bestIdx, bestGain := -1, 0
+		for i, cand := range cands {
+			gain := 0
+			for _, v := range cand.detects {
+				if !covered[v] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		for _, v := range cands[bestIdx].detects {
+			covered[v] = true
+		}
+		out = append(out, cands[bestIdx].vector)
+	}
+	for v, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("testgen: valve %d left uncovered by cuts", v)
+		}
+	}
+	return out, nil
+}
+
+// errNoLeakCut marks valves for which no leak-preserving cut exists.
+var errNoLeakCut = fmt.Errorf("no leak-preserving cut exists")
+
+// cutThroughWithLeak finds a set of channel edges containing `through` that
+// separates s from t, such that closing the set minus `through` still
+// leaves an s-t leak path across `through` (the detection condition for a
+// stuck-at-1 valve on `through`). It protects a witness leak path with
+// large flow capacities so the min cut cannot sever it anywhere except at
+// `through` itself.
+func cutThroughWithLeak(g *graphalg.Graph, s, t, through int, allow func(int) bool) ([]int, error) {
+	return cutThroughWithLeakAvoiding(g, s, t, through, allow, allow, nil)
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package testgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chip"
+)
+
+// AugmentHeuristic computes a DFT configuration greedily: for every
+// original channel edge not yet covered, it routes a simple source→meter
+// path through that edge, preferring already-existing channels (near-zero
+// cost) over new edges (unit cost plus the PSO bias from
+// Options.EdgeWeights). The result is feasible by construction — every
+// original and added edge lies on a simple s-t path — but not necessarily
+// minimal in added edges. The two-level PSO uses this engine to evaluate
+// many configurations quickly; AugmentILP provides the exact optimum.
+func AugmentHeuristic(c *chip.Chip, opts Options) (*Augmentation, error) {
+	srcPort, dstPort, srcNode, dstNode := testPorts(c)
+	g := c.Grid.Graph()
+	nEdges := g.NumEdges()
+
+	isOriginal := make([]bool, nEdges)
+	for _, e := range c.OriginalEdges() {
+		isOriginal[e] = true
+	}
+	chosen := make([]bool, nEdges) // free edges committed to the DFT config
+	covered := make([]bool, nEdges)
+
+	// Edge traversal costs: original channels are nearly free (they exist),
+	// already-chosen DFT edges are cheap, fresh free edges cost 1 plus the
+	// PSO bias.
+	cost := func(e int) float64 {
+		switch {
+		case isOriginal[e]:
+			return 0.01
+		case chosen[e]:
+			return 0.05
+		default:
+			w := 1.0
+			if opts.EdgeWeights != nil && e < len(opts.EdgeWeights) && opts.EdgeWeights[e] > 0 {
+				w += opts.EdgeWeights[e]
+			}
+			return w
+		}
+	}
+
+	// Deterministic order: cover original edges farthest from the source
+	// first; their paths tend to sweep up closer edges for free.
+	targets := append([]int(nil), c.OriginalEdges()...)
+	distFromSrc := g.BFSFrom(srcNode, nil)
+	sort.SliceStable(targets, func(i, j int) bool {
+		ui, vi := g.Endpoints(targets[i])
+		uj, vj := g.Endpoints(targets[j])
+		di := min(distFromSrc[ui], distFromSrc[vi])
+		dj := min(distFromSrc[uj], distFromSrc[vj])
+		if di != dj {
+			return di > dj
+		}
+		return targets[i] < targets[j]
+	})
+
+	var paths [][]int
+	for _, target := range targets {
+		if covered[target] {
+			continue
+		}
+		path, err := routeThrough(c, srcNode, dstNode, target, cost)
+		if err != nil {
+			return nil, fmt.Errorf("testgen: heuristic cannot cover edge %d: %w", target, err)
+		}
+		for _, e := range path {
+			covered[e] = true
+			if !isOriginal[e] {
+				chosen[e] = true
+			}
+		}
+		paths = append(paths, path)
+	}
+
+	var added []int
+	for e := 0; e < nEdges; e++ {
+		if chosen[e] {
+			added = append(added, e)
+		}
+	}
+	aug, err := applyAugmentation(c, added)
+	if err != nil {
+		return nil, err
+	}
+	return &Augmentation{
+		Chip:       aug,
+		AddedEdges: added,
+		Paths:      paths,
+		Source:     srcPort,
+		Meter:      dstPort,
+		Method:     "heuristic",
+	}, nil
+}
+
+// routeThrough finds a simple s-t path through the edge `through`,
+// minimizing the summed edge cost. It tries both orientations: a shortest
+// s→a leg, then a b→t leg that avoids every node of the first leg (keeping
+// the whole path simple).
+func routeThrough(c *chip.Chip, s, t, through int, cost func(int) float64) ([]int, error) {
+	g := c.Grid.Graph()
+	u, v := g.Endpoints(through)
+	type candidate struct {
+		edges []int
+		cost  float64
+	}
+	var best *candidate
+	for _, orient := range [2][2]int{{u, v}, {v, u}} {
+		a, b := orient[0], orient[1]
+		// Leg 1: s -> a, avoiding `through` and node t (t must stay free
+		// for the second leg's endpoint) and node b (the path must cross
+		// `through` exactly once).
+		w1 := func(e int) float64 {
+			if e == through {
+				return -1
+			}
+			x, y := g.Endpoints(e)
+			if a != t && (x == t || y == t) {
+				return -1
+			}
+			if x == b || y == b {
+				return -1
+			}
+			return cost(e)
+		}
+		nodes1, edges1, cost1, ok := g.WeightedShortestPath(s, a, w1)
+		if !ok {
+			continue
+		}
+		onLeg1 := make(map[int]bool, len(nodes1))
+		for _, n := range nodes1 {
+			onLeg1[n] = true
+		}
+		// Leg 2: b -> t avoiding all leg-1 nodes and `through`.
+		w2 := func(e int) float64 {
+			if e == through {
+				return -1
+			}
+			x, y := g.Endpoints(e)
+			if (onLeg1[x] && x != b) || (onLeg1[y] && y != b) {
+				return -1
+			}
+			_ = x
+			return cost(e)
+		}
+		_, edges2, cost2, ok := g.WeightedShortestPath(b, t, w2)
+		if !ok {
+			continue
+		}
+		total := cost1 + cost(through) + cost2
+		if best == nil || total < best.cost {
+			all := append(append(append([]int(nil), edges1...), through), edges2...)
+			best = &candidate{edges: all, cost: total}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no simple path from %d to %d through edge %d", s, t, through)
+	}
+	return best.edges, nil
+}

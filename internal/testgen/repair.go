@@ -1,0 +1,257 @@
+package testgen
+
+import (
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/graphalg"
+)
+
+// RepairVectors makes a test-vector set valid under a valve-sharing
+// control assignment — the paper's "test vectors considering valve
+// sharing". The base paths and cuts were generated sharing-blind; control
+// sharing can mask faults (Fig. 6): closing a cut also force-closes the
+// partners of its valves, possibly sealing the leak path that would reveal
+// a stuck-at-1 valve, and opening a path also force-opens partners,
+// possibly bypassing a stuck-at-0 valve.
+//
+// For every fault the base set misses under ctrl, a replacement vector is
+// generated whose critical structure avoids shared control lines entirely:
+//
+//   - stuck-at-1 at v: a cut through v whose leak-path witness uses only
+//     unshared lines, so no partner closure can seal it;
+//   - stuck-at-0 at v: an extra source→meter path through v using only
+//     unshared lines (apart from v itself), so no partner opening can
+//     bypass it.
+//
+// It returns the (possibly extended) vector sets and whether full coverage
+// of all stuck-at-0/1 faults was achieved.
+func RepairVectors(c *chip.Chip, ctrl *chip.Control, src, meter int, basePaths, baseCuts []fault.Vector) (paths, cuts []fault.Vector, ok bool) {
+	sim := fault.NewSimulator(c, ctrl)
+	paths = append([]fault.Vector(nil), basePaths...)
+	cuts = append([]fault.Vector(nil), baseCuts...)
+
+	all := append(append([]fault.Vector{}, paths...), cuts...)
+	cov := sim.EvaluateCoverage(all, fault.AllFaults(c))
+	if cov.Full() {
+		return paths, cuts, true
+	}
+
+	// sharedLine[v] is true when valve v's control line actuates more than
+	// one valve.
+	sharedLine := make([]bool, c.NumValves())
+	for v := 0; v < c.NumValves(); v++ {
+		sharedLine[v] = len(ctrl.SharedWith(v)) > 0
+	}
+	g := c.Grid.Graph()
+	srcNode, meterNode := c.Ports[src].Node, c.Ports[meter].Node
+
+	allOK := true
+	for _, f := range cov.Undetected {
+		switch f.Kind {
+		case fault.StuckAt1:
+			vec, found := repairCut(c, sim, ctrl, g, srcNode, meterNode, src, meter, f.Valve, sharedLine)
+			if !found {
+				allOK = false
+				continue
+			}
+			cuts = append(cuts, vec)
+		case fault.StuckAt0:
+			vec, found := repairPath(c, sim, g, srcNode, meterNode, src, meter, f.Valve, sharedLine)
+			if !found {
+				allOK = false
+				continue
+			}
+			paths = append(paths, vec)
+		default:
+			allOK = false
+		}
+	}
+	if !allOK {
+		return paths, cuts, false
+	}
+	// Re-verify end to end: the repairs must actually close the gap.
+	all = append(append([]fault.Vector{}, paths...), cuts...)
+	cov = sim.EvaluateCoverage(all, fault.AllFaults(c))
+	return paths, cuts, cov.Full()
+}
+
+// repairCut builds a sharing-aware cut for a stuck-at-1 fault at valve v.
+// It tries two strategies: (a) a leak-path witness avoiding every
+// shared-line edge, so no partner closure can touch it; (b) an
+// unrestricted witness whose valves' entire control lines (including
+// partners on the same line) are protected from entering the cut, so
+// closing the cut cannot force any witness edge shut.
+func repairCut(c *chip.Chip, sim *fault.Simulator, ctrl *chip.Control, g *graphalg.Graph, srcNode, meterNode, src, meter, v int, sharedLine []bool) (fault.Vector, bool) {
+	edge := c.Valve(v).Edge
+	anyChannel := func(e int) bool {
+		_, okV := c.ValveOnEdge(e)
+		return okV
+	}
+	channelUnshared := func(e int) bool {
+		cv, okV := c.ValveOnEdge(e)
+		if !okV {
+			return false
+		}
+		return !sharedLine[cv] || cv == v
+	}
+	// expandProtect widens a protected edge set to every edge whose valve
+	// sits on the same control line as a protected valve.
+	expandProtect := func(edges map[int]bool) {
+		var lines []int
+		for e := range edges {
+			if cv, okV := c.ValveOnEdge(e); okV {
+				lines = append(lines, ctrl.LineOf(cv))
+			}
+		}
+		for _, cv2 := range c.Valves() {
+			for _, l := range lines {
+				if ctrl.LineOf(cv2.ID) == l {
+					edges[cv2.Edge] = true
+				}
+			}
+		}
+	}
+	for _, legFilter := range []func(int) bool{channelUnshared, anyChannel} {
+		cutEdges, err := cutThroughWithLeakAvoiding(g, srcNode, meterNode, edge, legFilter, anyChannel, expandProtect)
+		if err != nil {
+			continue
+		}
+		valves := make([]int, 0, len(cutEdges))
+		okAll := true
+		for _, e := range cutEdges {
+			cv, okV := c.ValveOnEdge(e)
+			if !okV {
+				okAll = false
+				break
+			}
+			valves = append(valves, cv)
+		}
+		if !okAll {
+			continue
+		}
+		sort.Ints(valves)
+		vec := fault.Vector{Kind: fault.CutVector, Valves: valves, Sources: []int{src}, Meters: []int{meter}}
+		if sim.FaultFreeOK(vec) && sim.Detects(vec, fault.Fault{Kind: fault.StuckAt1, Valve: v}) {
+			return vec, true
+		}
+	}
+	return fault.Vector{}, false
+}
+
+// repairPath builds a sharing-immune path vector for a stuck-at-0 fault at
+// valve v: the whole path uses unshared lines (apart from v), so no forced
+// partner opening can build a bypass.
+func repairPath(c *chip.Chip, sim *fault.Simulator, g *graphalg.Graph, srcNode, meterNode, src, meter, v int, sharedLine []bool) (fault.Vector, bool) {
+	edge := c.Valve(v).Edge
+	strict := func(e int) float64 {
+		cv, okV := c.ValveOnEdge(e)
+		if !okV {
+			return -1
+		}
+		if sharedLine[cv] && cv != v {
+			return -1
+		}
+		return 1
+	}
+	// Permissive fallback: shared edges allowed but expensive; the
+	// simulator has the final word on whether a bypass masks the fault.
+	permissive := func(e int) float64 {
+		cv, okV := c.ValveOnEdge(e)
+		if !okV {
+			return -1
+		}
+		if sharedLine[cv] && cv != v {
+			return 8
+		}
+		return 1
+	}
+	for _, cost := range []func(int) float64{strict, permissive} {
+		pathEdges, err := routeThrough(c, srcNode, meterNode, edge, cost)
+		if err != nil {
+			continue
+		}
+		valves := make([]int, 0, len(pathEdges))
+		for _, e := range pathEdges {
+			cv, _ := c.ValveOnEdge(e)
+			valves = append(valves, cv)
+		}
+		vec := fault.Vector{Kind: fault.PathVector, Valves: valves, Sources: []int{src}, Meters: []int{meter}}
+		if sim.FaultFreeOK(vec) && sim.Detects(vec, fault.Fault{Kind: fault.StuckAt0, Valve: v}) {
+			return vec, true
+		}
+	}
+	return fault.Vector{}, false
+}
+
+// cutThroughWithLeakAvoiding is cutThroughWithLeak with a separate filter
+// for the leak-path witness legs (legAllow) and the cuttable edge set
+// (allow). expandProtect, if non-nil, widens the protected edge set before
+// the min-cut (e.g. to whole control lines under sharing).
+func cutThroughWithLeakAvoiding(g *graphalg.Graph, s, t, through int, legAllow, allow func(int) bool, expandProtect func(map[int]bool)) ([]int, error) {
+	u, v := g.Endpoints(through)
+	const big = 1 << 20
+	legExcept := func(e int) bool { return e != through && legAllow(e) }
+	allowExcept := func(e int) bool { return e != through && allow(e) }
+	var lastErr error = errNoLeakCut
+	for _, orient := range [2][2]int{{u, v}, {v, u}} {
+		a, b := orient[0], orient[1]
+		nodes1, leg1, ok1 := g.ShortestPath(s, a, legExcept)
+		if !ok1 {
+			continue
+		}
+		onLeg1 := make(map[int]bool, len(nodes1))
+		for _, n := range nodes1 {
+			onLeg1[n] = true
+		}
+		disjoint := func(e int) bool {
+			if !legExcept(e) {
+				return false
+			}
+			x, y := g.Endpoints(e)
+			return !onLeg1[x] && !onLeg1[y]
+		}
+		_, leg2, ok2 := g.ShortestPath(b, t, disjoint)
+		if !ok2 {
+			_, leg2, ok2 = g.ShortestPath(b, t, legExcept)
+		}
+		if !ok2 {
+			continue
+		}
+		protect := make(map[int]bool, len(leg1)+len(leg2))
+		for _, e := range leg1 {
+			protect[e] = true
+		}
+		for _, e := range leg2 {
+			protect[e] = true
+		}
+		if expandProtect != nil {
+			expandProtect(protect)
+			if protect[through] {
+				delete(protect, through) // excluded from the network anyway
+			}
+		}
+		f := graphalg.NewFlowNetwork(g.NumNodes())
+		for e := 0; e < g.NumEdges(); e++ {
+			if g.EdgeDeleted(e) || !allowExcept(e) {
+				continue
+			}
+			capacity := 1
+			if protect[e] {
+				capacity = big
+			}
+			x, y := g.Endpoints(e)
+			f.AddArc(x, y, capacity, e)
+			f.AddArc(y, x, capacity, e)
+		}
+		if f.MaxFlow(s, t) >= big {
+			continue
+		}
+		cut := f.MinCutArcs(s)
+		cut = append(cut, through)
+		sort.Ints(cut)
+		return cut, nil
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,34 @@
+package testgen
+
+import "repro/internal/fault"
+
+// TestTimeParams models the physical timing of applying one test vector on
+// the single-source single-meter platform.
+type TestTimeParams struct {
+	// ActuationTime is the seconds to drive all control lines to the
+	// vector's states and let pressure settle (default 2).
+	ActuationTime int
+	// MeasureTime is the seconds the pressure meter integrates before the
+	// pass/fail decision (default 3).
+	MeasureTime int
+}
+
+func (p TestTimeParams) withDefaults() TestTimeParams {
+	if p.ActuationTime <= 0 {
+		p.ActuationTime = 2
+	}
+	if p.MeasureTime <= 0 {
+		p.MeasureTime = 3
+	}
+	return p
+}
+
+// EstimateTestTime returns the total seconds to run a vector set on the
+// test platform. The paper argues the larger DFT vector count is
+// affordable because test time "is still not a problem in today's
+// biochemical laboratories" — this estimator quantifies that claim (tens
+// of seconds even for the largest chip).
+func EstimateTestTime(vectors []fault.Vector, p TestTimeParams) int {
+	p = p.withDefaults()
+	return len(vectors) * (p.ActuationTime + p.MeasureTime)
+}

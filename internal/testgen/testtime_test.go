@@ -1,0 +1,42 @@
+package testgen
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/fault"
+)
+
+func TestEstimateTestTimeDefaults(t *testing.T) {
+	vectors := make([]fault.Vector, 10)
+	if got := EstimateTestTime(vectors, TestTimeParams{}); got != 10*(2+3) {
+		t.Fatalf("EstimateTestTime = %d, want 50", got)
+	}
+}
+
+func TestEstimateTestTimeCustom(t *testing.T) {
+	vectors := make([]fault.Vector, 4)
+	if got := EstimateTestTime(vectors, TestTimeParams{ActuationTime: 1, MeasureTime: 1}); got != 8 {
+		t.Fatalf("EstimateTestTime = %d, want 8", got)
+	}
+}
+
+func TestDFTTestTimeStaysAffordable(t *testing.T) {
+	// The paper's affordability claim: even the largest DFT test program
+	// finishes within minutes.
+	for _, c := range chip.Benchmarks() {
+		aug, err := AugmentHeuristic(c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cuts, err := GenerateCuts(aug.Chip, aug.Source, aug.Meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := EstimateTestTime(append(aug.PathVectors(), cuts...), TestTimeParams{})
+		if total <= 0 || total > 600 {
+			t.Fatalf("%s: test time %d s outside plausible range", c.Name, total)
+		}
+		t.Logf("%s: %d s of test time", c.Name, total)
+	}
+}
