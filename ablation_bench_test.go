@@ -168,7 +168,10 @@ func BenchmarkAblationLeakage(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sim := dft.NewSimulator(aug.Chip, nil)
+				sim, err := dft.NewSimulator(aug.Chip, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
 				faults := fault.AllFaultsOfKinds(aug.Chip, fault.StuckAt0, fault.StuckAt1, fault.Leakage)
 				cov := sim.EvaluateCoverage(append(aug.PathVectors(), cuts...), faults)
 				if !cov.Full() {

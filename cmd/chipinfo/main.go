@@ -1,16 +1,23 @@
 // Command chipinfo prints the netlist and an ASCII rendering of a
 // benchmark chip's connection grid.
 //
-//	chipinfo -chip IVD_chip [-dft]
+//	chipinfo -chip IVD_chip [-dft] [-timeout 10s]
 //
 // With -dft the chip is first augmented for single-source single-meter
 // testability; added channels render as == and :.
+//
+// Exit codes: 0 success; 1 error; 2 usage; 4 cancelled (Ctrl-C, SIGTERM
+// or -timeout expired during augmentation).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/dft"
 	"repro/internal/render"
@@ -19,6 +26,7 @@ import (
 func main() {
 	name := flag.String("chip", "IVD_chip", "IVD_chip, RA30_chip or mRNA_chip")
 	showDFT := flag.Bool("dft", false, "augment for DFT before rendering")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for augmentation (0 = none)")
 	flag.Parse()
 	c, ok := dft.ChipByName(*name)
 	if !ok {
@@ -26,9 +34,20 @@ func main() {
 		os.Exit(2)
 	}
 	if *showDFT {
-		aug, err := dft.Augment(c, false)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		aug, err := dft.AugmentCtx(ctx, c, false)
+		stop()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chipinfo: %v\n", err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				os.Exit(4)
+			}
 			os.Exit(1)
 		}
 		c = aug.Chip

@@ -3,21 +3,49 @@
 // sharing scheme, and the full single-source single-meter test set.
 //
 //	dftgen -chip IVD_chip -assay IVD [-seed N] [-iters N] [-particles N] [-ilp]
+//	       [-timeout 30s] [-inject exact:timeout,heuristic:panic] [-json]
+//
+// The flow degrades gracefully: -timeout (or Ctrl-C / SIGTERM) stops the
+// search cooperatively and the best result found so far is still emitted.
+// -inject forces deterministic faults in the augmentation chain for
+// degradation drills.
+//
+// Exit codes: 0 full success; 1 error; 2 usage; 3 degraded result
+// (a fallback tier produced the configuration, the search was
+// interrupted, or coverage is partial); 4 cancelled before any result.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/dft"
 	"repro/internal/core"
 	"repro/internal/loader"
 	"repro/internal/pso"
 	"repro/internal/report"
+	"repro/internal/solve"
+)
+
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitUsage     = 2
+	exitDegraded  = 3
+	exitCancelled = 4
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		chipName  = flag.String("chip", "IVD_chip", "IVD_chip, RA30_chip or mRNA_chip")
 		assayName = flag.String("assay", "IVD", "IVD, PID or CPA")
@@ -28,28 +56,36 @@ func main() {
 		particles = flag.Int("particles", 5, "PSO particles per level")
 		useILP    = flag.Bool("ilp", false, "use the exact ILP for the reference configuration")
 		asJSON    = flag.Bool("json", false, "emit the result as a JSON test program")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the best result so far is emitted")
+		injectStr = flag.String("inject", "", "force faults in the augmentation chain, e.g. exact:timeout,heuristic:panic (degradation drills)")
 	)
 	flag.Parse()
+
+	inject, err := solve.ParseInjections(*injectStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
+		return exitUsage
+	}
 
 	var c *dft.Chip
 	if *chipFile != "" {
 		f, err := os.Open(*chipFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			os.Exit(2)
+			return exitUsage
 		}
 		c, err = loader.ReadChip(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			os.Exit(2)
+			return exitUsage
 		}
 	} else {
 		var ok bool
 		c, ok = dft.ChipByName(*chipName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "dftgen: unknown chip %q\n", *chipName)
-			os.Exit(2)
+			return exitUsage
 		}
 	}
 	var a *dft.Assay
@@ -57,20 +93,20 @@ func main() {
 		f, err := os.Open(*assayFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			os.Exit(2)
+			return exitUsage
 		}
 		a, err = loader.ReadAssay(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			os.Exit(2)
+			return exitUsage
 		}
 	} else {
 		var ok bool
 		a, ok = dft.AssayByName(*assayName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "dftgen: unknown assay %q\n", *assayName)
-			os.Exit(2)
+			return exitUsage
 		}
 	}
 	if !*asJSON {
@@ -78,24 +114,48 @@ func main() {
 		fmt.Println("assay:", a)
 	}
 
-	res, err := dft.Run(c, a, core.Options{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := dft.RunCtx(ctx, c, a, core.Options{
 		Outer:  pso.Config{Particles: *particles, Iterations: *iters},
 		Inner:  pso.Config{Particles: *particles, Iterations: 8},
 		Seed:   *seed,
 		UseILP: *useILP,
+		Inject: inject,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-		os.Exit(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return exitCancelled
+		}
+		if errors.Is(err, solve.ErrUnknownInjectionTier) {
+			return exitUsage
+		}
+		return exitError
 	}
+
+	degraded := res.Solve.Degraded || res.Interrupted || !res.CoverageFull
 
 	if *asJSON {
 		if err := report.WriteJSON(os.Stdout, res); err != nil {
 			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			os.Exit(1)
+			return exitError
 		}
-		return
+		if degraded {
+			return exitDegraded
+		}
+		return exitOK
 	}
+
+	fmt.Println()
+	fmt.Println("== solver ==")
+	printSolver(res)
 
 	fmt.Println()
 	fmt.Println("== augmented architecture ==")
@@ -136,7 +196,11 @@ func main() {
 	for i, v := range res.CutVectors {
 		fmt.Printf("  C%d: close valves %v\n", i+1, v.Valves)
 	}
-	sim := dft.NewSimulator(res.Aug.Chip, res.Control)
+	sim, err := dft.NewSimulator(res.Aug.Chip, res.Control)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
+		return exitError
+	}
 	vectors := append(append([]dft.Vector{}, res.PathVectors...), res.CutVectors...)
 	cov := sim.EvaluateCoverage(vectors, dft.AllFaults(res.Aug.Chip))
 	fmt.Printf("fault coverage under sharing: %v\n", cov)
@@ -148,4 +212,32 @@ func main() {
 	fmt.Printf("  DFT, PSO-optimized     : %5d s\n", res.ExecPSO)
 	fmt.Printf("  DFT, independent ctrl  : %5d s\n", res.ExecIndependent)
 	fmt.Printf("flow runtime: %v\n", res.Runtime)
+
+	if degraded {
+		fmt.Println()
+		fmt.Println("NOTE: degraded result (see == solver == above); exit status 3")
+		return exitDegraded
+	}
+	return exitOK
+}
+
+// printSolver renders the degradation provenance of the flow.
+func printSolver(res *dft.Result) {
+	fmt.Printf("configuration produced by tier %d (%s)\n", res.Solve.Tier, res.Solve.Name)
+	for _, at := range res.Solve.Attempts {
+		line := fmt.Sprintf("  tier %d %-9s: %-10s (%s)", at.Tier, at.Name, at.Reason, at.Elapsed.Round(time.Millisecond))
+		if at.Injected != "" {
+			line += fmt.Sprintf(" [injected: %s]", at.Injected)
+		}
+		if at.Error != "" {
+			line += " — " + at.Error
+		}
+		fmt.Println(line)
+	}
+	if res.Interrupted {
+		fmt.Println("  search interrupted: result is valid but less optimized")
+	}
+	if !res.CoverageFull {
+		fmt.Printf("  WARNING: partial fault coverage (%d channel(s) untestable)\n", len(res.Aug.Uncovered))
+	}
 }

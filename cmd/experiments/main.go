@@ -13,15 +13,26 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/dft"
 	"repro/internal/core"
 	"repro/internal/pso"
 	"repro/internal/testgen"
+)
+
+// flowCtx bounds every flow run; flowFor marks degradedAny when a run
+// came back interrupted or from a fallback tier.
+var (
+	flowCtx     = context.Background()
+	degradedAny = false
 )
 
 func main() {
@@ -36,6 +47,7 @@ func main() {
 		particles = flag.Int("particles", 5, "PSO particles per level")
 		seed      = flag.Int64("seed", 2018, "random seed")
 		useILP    = flag.Bool("ilp", false, "solve the exact augmentation ILP for the reference configuration")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); interrupted runs report their best result so far")
 	)
 	flag.Parse()
 	if !*table1 && !*fig7 && !*fig8 && !*fig9 && !*controlF && !*all {
@@ -48,6 +60,15 @@ func main() {
 		Seed:   *seed,
 		UseILP: *useILP,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	flowCtx = ctx
 
 	if *table1 || *all {
 		runTable1(opts)
@@ -63,6 +84,10 @@ func main() {
 	}
 	if *controlF || *all {
 		runControl(opts)
+	}
+	if degradedAny {
+		fmt.Fprintln(os.Stderr, "experiments: some runs were degraded or interrupted; exit status 3")
+		os.Exit(3)
 	}
 }
 
@@ -107,10 +132,18 @@ func flowFor(chipName, assayName string, opts core.Options) *dft.Result {
 	}
 	c, _ := dft.ChipByName(chipName)
 	a, _ := dft.AssayByName(assayName)
-	res, err := dft.Run(c, a, opts)
+	res, err := dft.RunCtx(flowCtx, c, a, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %s on %s: %v\n", assayName, chipName, err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(4)
+		}
 		os.Exit(1)
+	}
+	if res.Solve.Degraded || res.Interrupted || !res.CoverageFull {
+		degradedAny = true
+		fmt.Fprintf(os.Stderr, "experiments: %s/%s degraded (tier %q, interrupted=%v, full coverage=%v)\n",
+			chipName, assayName, res.Solve.Name, res.Interrupted, res.CoverageFull)
 	}
 	cache[key] = res
 	return res

@@ -3,48 +3,84 @@
 // and fault-simulates every stuck-at-0/1 defect against every vector,
 // printing the detection matrix and the final coverage.
 //
-//	faultsim -chip RA30_chip [-matrix] [-baseline]
+//	faultsim -chip RA30_chip [-matrix] [-baseline] [-timeout 30s]
+//
+// Exit codes: 0 success; 1 error; 2 usage; 4 cancelled (Ctrl-C, SIGTERM
+// or -timeout expired before the campaign finished).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/dft"
 )
 
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitUsage     = 2
+	exitCancelled = 4
+)
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		chipName = flag.String("chip", "IVD_chip", "IVD_chip, RA30_chip or mRNA_chip")
 		matrix   = flag.Bool("matrix", false, "print the fault x vector detection matrix")
 		baseline = flag.Bool("baseline", false, "also run the multi-instrument baseline on the original chip")
 		optimal  = flag.Bool("optimal", false, "use the exact minimum cut-set cover (ILP) instead of the greedy one")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 	)
 	flag.Parse()
 	c, ok := dft.ChipByName(*chipName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "faultsim: unknown chip %q\n", *chipName)
-		os.Exit(2)
+		return exitUsage
 	}
 	fmt.Println("chip:", c)
 
-	aug, err := dft.Augment(c, false)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "faultsim:", err)
-		os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	genCuts := dft.GenerateCuts
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return exitCancelled
+		}
+		return exitError
+	}
+
+	aug, err := dft.AugmentCtx(ctx, c, false)
+	if err != nil {
+		return fail(err)
+	}
+	var cuts []dft.Vector
 	if *optimal {
-		genCuts = dft.GenerateCutsOptimal
+		cuts, err = dft.GenerateCutsOptimalCtx(ctx, aug.Chip, aug.Source, aug.Meter, dft.AugmentOptions{})
+	} else {
+		cuts, err = dft.GenerateCutsCtx(ctx, aug.Chip, aug.Source, aug.Meter)
 	}
-	cuts, err := genCuts(aug.Chip, aug.Source, aug.Meter)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "faultsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	vectors := append(aug.PathVectors(), cuts...)
-	sim := dft.NewSimulator(aug.Chip, nil)
+	sim, err := dft.NewSimulator(aug.Chip, nil)
+	if err != nil {
+		return fail(err)
+	}
 	faults := dft.AllFaults(aug.Chip)
 
 	fmt.Printf("augmented: +%d DFT valves, %d vectors (%d paths, %d cuts), %d faults\n",
@@ -78,10 +114,12 @@ func main() {
 	if *baseline {
 		bp, bc, err := dft.BaselineVectors(c)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "faultsim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		bsim := dft.NewSimulator(c, nil)
+		bsim, err := dft.NewSimulator(c, nil)
+		if err != nil {
+			return fail(err)
+		}
 		bcov := bsim.EvaluateCoverage(append(append([]dft.Vector{}, bp...), bc...), dft.AllFaults(c))
 		maxInstr := 0
 		for _, v := range bp {
@@ -94,4 +132,5 @@ func main() {
 		fmt.Printf("DFT platform needs exactly 2 instruments (1 source + 1 meter) vs the baseline's %d ports wired\n",
 			len(c.Ports))
 	}
+	return exitOK
 }

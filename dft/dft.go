@@ -28,6 +28,7 @@
 package dft
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/assay"
@@ -61,6 +62,9 @@ type (
 	Result = core.Result
 	// Augmentation is a DFT configuration with its test paths.
 	Augmentation = testgen.Augmentation
+	// AugmentOptions tunes the test-generation engines (path caps, edge
+	// weights, branch-and-bound budgets).
+	AugmentOptions = testgen.Options
 	// Vector is a single test vector (path or cut).
 	Vector = fault.Vector
 	// Fault is a manufacturing defect at a valve.
@@ -104,15 +108,31 @@ func Run(c *Chip, a *Assay, opts Options) (*Result, error) {
 	return core.RunDFTFlow(c, a, opts)
 }
 
+// RunCtx is Run with cooperative cancellation and graceful degradation:
+// the context bounds the search phases, and on expiry the flow finishes
+// with the best configuration found so far, marking the result
+// Interrupted. Result.Solve records which augmentation tier produced the
+// reference configuration.
+func RunCtx(ctx context.Context, c *Chip, a *Assay, opts Options) (*Result, error) {
+	return core.RunDFTFlowCtx(ctx, c, a, opts)
+}
+
 // Augment computes only the DFT configuration (added channels/valves and
 // the stuck-at-0 test paths) without valve sharing or scheduling, using
 // the greedy engine. Set useILP to solve the paper's ILP (eqs. (1)-(6))
 // exactly instead.
 func Augment(c *Chip, useILP bool) (*Augmentation, error) {
+	return AugmentCtx(context.Background(), c, useILP)
+}
+
+// AugmentCtx is Augment with cooperative cancellation: an expired context
+// stops the solve within one branch-and-bound node (ILP) or one covered
+// edge (heuristic) and returns the context's error.
+func AugmentCtx(ctx context.Context, c *Chip, useILP bool) (*Augmentation, error) {
 	if useILP {
-		return testgen.AugmentILP(c, testgen.Options{})
+		return testgen.AugmentILPCtx(ctx, c, testgen.Options{})
 	}
-	return testgen.AugmentHeuristic(c, testgen.Options{})
+	return testgen.AugmentHeuristicCtx(ctx, c, testgen.Options{})
 }
 
 // GenerateCuts produces stuck-at-1 test cuts for a chip between the given
@@ -121,11 +141,22 @@ func GenerateCuts(c *Chip, source, meter int) ([]Vector, error) {
 	return testgen.GenerateCuts(c, source, meter)
 }
 
+// GenerateCutsCtx is GenerateCuts with cooperative cancellation.
+func GenerateCutsCtx(ctx context.Context, c *Chip, source, meter int) ([]Vector, error) {
+	return testgen.GenerateCutsCtx(ctx, c, source, meter)
+}
+
 // GenerateCutsOptimal is GenerateCuts with an exact minimum-cardinality
 // set cover (candidate enumeration + the same branch-and-bound engine as
 // the path ILP) instead of the greedy cover.
 func GenerateCutsOptimal(c *Chip, source, meter int) ([]Vector, error) {
 	return testgen.GenerateCutsOptimal(c, source, meter)
+}
+
+// GenerateCutsOptimalCtx is GenerateCutsOptimal with cooperative
+// cancellation and a tunable branch-and-bound budget.
+func GenerateCutsOptimalCtx(ctx context.Context, c *Chip, source, meter int, opts testgen.Options) ([]Vector, error) {
+	return testgen.GenerateCutsOptimalCtx(ctx, c, source, meter, opts)
 }
 
 // BaselineVectors generates the multi-source multi-meter test set of an
@@ -138,8 +169,10 @@ func BaselineVectors(c *Chip) (paths, cuts []Vector, err error) {
 func AllFaults(c *Chip) []Fault { return fault.AllFaults(c) }
 
 // NewSimulator returns a pressure-propagation fault simulator for the chip
-// under the given control assignment (nil for independent control).
-func NewSimulator(c *Chip, ctrl *Control) *fault.Simulator {
+// under the given control assignment (nil for independent control). It
+// returns fault.ErrControlMismatch when the control assignment was built
+// for a different chip.
+func NewSimulator(c *Chip, ctrl *Control) (*fault.Simulator, error) {
 	if ctrl == nil {
 		ctrl = chip.IndependentControl(c)
 	}

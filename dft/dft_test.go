@@ -41,7 +41,10 @@ func TestEndToEndFlow(t *testing.T) {
 		t.Fatalf("control lines grew: %d", res.Control.NumLines())
 	}
 	// 3. full fault coverage under the sharing scheme.
-	sim := dft.NewSimulator(res.Aug.Chip, res.Control)
+	sim, err := dft.NewSimulator(res.Aug.Chip, res.Control)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cov := sim.EvaluateCoverage(append(res.PathVectors, res.CutVectors...), dft.AllFaults(res.Aug.Chip))
 	if !cov.Full() {
 		t.Fatalf("coverage: %v", cov)
@@ -64,7 +67,10 @@ func TestAugmentAndCutsViaPublicAPI(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ilp=%v: %v", useILP, err)
 		}
-		cov := aug.Verify(nil, cuts)
+		cov, err := aug.Verify(nil, cuts)
+		if err != nil {
+			t.Fatalf("ilp=%v: %v", useILP, err)
+		}
 		if !cov.Full() {
 			t.Fatalf("ilp=%v: coverage %v", useILP, cov)
 		}

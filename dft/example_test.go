@@ -32,7 +32,10 @@ func ExampleAugment() {
 	if err != nil {
 		panic(err)
 	}
-	cov := aug.Verify(nil, cuts)
+	cov, err := aug.Verify(nil, cuts)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("full coverage:", cov.Full())
 	// Output:
 	// full coverage: true

@@ -74,7 +74,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cov := aug.Verify(nil, cuts)
+	cov, err := aug.Verify(nil, cuts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("single-source single-meter coverage: %v\n", cov)
 
 	// The full flow, sharing control lines and optimizing execution time.

@@ -34,7 +34,10 @@ func main() {
 	fmt.Printf("test rig : one pressure source at %s, one meter at %s\n\n",
 		aug.Chip.Ports[aug.Source].Name, aug.Chip.Ports[aug.Meter].Name)
 
-	sim := dft.NewSimulator(aug.Chip, nil)
+	sim, err := dft.NewSimulator(aug.Chip, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The batch: one good chip plus one chip per possible defect.
 	type unit struct {

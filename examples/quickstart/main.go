@@ -39,7 +39,10 @@ func main() {
 	fmt.Printf("flow runtime          : %v\n", res.Runtime)
 
 	// Prove the headline claim: full fault coverage, one source, one meter.
-	sim := dft.NewSimulator(res.Aug.Chip, res.Control)
+	sim, err := dft.NewSimulator(res.Aug.Chip, res.Control)
+	if err != nil {
+		log.Fatal(err)
+	}
 	vectors := append(append([]dft.Vector{}, res.PathVectors...), res.CutVectors...)
 	cov := sim.EvaluateCoverage(vectors, dft.AllFaults(res.Aug.Chip))
 	fmt.Printf("fault coverage        : %v\n", cov)

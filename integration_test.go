@@ -131,7 +131,7 @@ func TestLoadedDesignFullFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := fault.NewSimulator(res.Aug.Chip, res.Control)
+	sim := fault.MustSimulator(res.Aug.Chip, res.Control)
 	cov := sim.EvaluateCoverage(append(res.PathVectors, res.CutVectors...), fault.AllFaults(res.Aug.Chip))
 	if !cov.Full() {
 		t.Fatalf("coverage %v", cov)
@@ -154,7 +154,10 @@ func TestWashedFlowStillTestable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := dft.NewSimulator(res.Aug.Chip, res.Control)
+	sim, err := dft.NewSimulator(res.Aug.Chip, res.Control)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cov := sim.EvaluateCoverage(append(res.PathVectors, res.CutVectors...), dft.AllFaults(res.Aug.Chip))
 	if !cov.Full() {
 		t.Fatalf("coverage %v", cov)

@@ -61,7 +61,7 @@ func TestFlowFullCoverageSingleSourceSingleMeter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := fault.NewSimulator(res.Aug.Chip, res.Control)
+	sim := fault.MustSimulator(res.Aug.Chip, res.Control)
 	vectors := append(append([]fault.Vector{}, res.PathVectors...), res.CutVectors...)
 	cov := sim.EvaluateCoverage(vectors, fault.AllFaults(res.Aug.Chip))
 	if !cov.Full() {

@@ -45,7 +45,7 @@ func TestRA30CPAFlowSucceeds(t *testing.T) {
 		t.Error("flow kept the reference configuration although it admits no valid sharing")
 	}
 	// And the result must hold up end to end.
-	sim := fault.NewSimulator(res.Aug.Chip, res.Control)
+	sim := fault.MustSimulator(res.Aug.Chip, res.Control)
 	cov := sim.EvaluateCoverage(append(res.PathVectors, res.CutVectors...), fault.AllFaults(res.Aug.Chip))
 	if !cov.Full() {
 		t.Fatalf("coverage %v", cov)

@@ -68,7 +68,7 @@ func TestPartialSharingFallback(t *testing.T) {
 	if res.Control.NumLines() != res.Aug.Chip.NumOriginalValves()+unshared {
 		t.Fatalf("lines %d for %d unshared", res.Control.NumLines(), unshared)
 	}
-	sim := fault.NewSimulator(res.Aug.Chip, res.Control)
+	sim := fault.MustSimulator(res.Aug.Chip, res.Control)
 	cov := sim.EvaluateCoverage(append(res.PathVectors, res.CutVectors...), fault.AllFaults(res.Aug.Chip))
 	if !cov.Full() {
 		t.Fatalf("coverage %v", cov)

@@ -20,6 +20,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/chip"
@@ -117,13 +118,30 @@ type Simulator struct {
 	ctrl *chip.Control
 }
 
+// ErrControlMismatch reports a control assignment built for a different
+// chip than the one under simulation.
+var ErrControlMismatch = errors.New("fault: control assignment belongs to a different chip")
+
 // NewSimulator returns a simulator for the chip under the given control
-// layer. Pass chip.IndependentControl for a sharing-free chip.
-func NewSimulator(c *chip.Chip, ctrl *chip.Control) *Simulator {
+// layer. Pass chip.IndependentControl for a sharing-free chip. It returns
+// ErrControlMismatch (test with errors.Is) when the control assignment was
+// built for a different chip.
+func NewSimulator(c *chip.Chip, ctrl *chip.Control) (*Simulator, error) {
 	if ctrl.Chip() != c {
-		panic("fault: control assignment belongs to a different chip")
+		return nil, fmt.Errorf("%w: control is for %q, chip is %q", ErrControlMismatch, ctrl.Chip().Name, c.Name)
 	}
-	return &Simulator{chip: c, ctrl: ctrl}
+	return &Simulator{chip: c, ctrl: ctrl}, nil
+}
+
+// MustSimulator is NewSimulator for call sites where the chip/control pair
+// is constructed together and a mismatch is a programming error; it panics
+// on ErrControlMismatch (the regexp.MustCompile idiom).
+func MustSimulator(c *chip.Chip, ctrl *chip.Control) *Simulator {
+	s, err := NewSimulator(c, ctrl)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Chip returns the chip under simulation.

@@ -26,7 +26,7 @@ func benchVectors(c *chip.Chip) []Vector {
 
 func BenchmarkFaultCampaignIVD(b *testing.B) {
 	c := chip.IVD()
-	sim := NewSimulator(c, chip.IndependentControl(c))
+	sim := MustSimulator(c, chip.IndependentControl(c))
 	vectors := benchVectors(c)
 	faults := AllFaults(c)
 	b.ResetTimer()
@@ -37,7 +37,7 @@ func BenchmarkFaultCampaignIVD(b *testing.B) {
 
 func BenchmarkFaultCampaignMRNA(b *testing.B) {
 	c := chip.MRNA()
-	sim := NewSimulator(c, chip.IndependentControl(c))
+	sim := MustSimulator(c, chip.IndependentControl(c))
 	vectors := benchVectors(c)
 	faults := AllFaults(c)
 	b.ResetTimer()
@@ -48,7 +48,7 @@ func BenchmarkFaultCampaignMRNA(b *testing.B) {
 
 func BenchmarkSingleDetect(b *testing.B) {
 	c := chip.MRNA()
-	sim := NewSimulator(c, chip.IndependentControl(c))
+	sim := MustSimulator(c, chip.IndependentControl(c))
 	v := benchVectors(c)[0]
 	f := Fault{Kind: StuckAt0, Valve: 3}
 	b.ResetTimer()

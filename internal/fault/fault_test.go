@@ -29,7 +29,7 @@ func pathVectorBetween(t *testing.T, c *chip.Chip, src, dst int) Vector {
 }
 
 func indepSim(c *chip.Chip) *Simulator {
-	return NewSimulator(c, chip.IndependentControl(c))
+	return MustSimulator(c, chip.IndependentControl(c))
 }
 
 func TestPathVectorFaultFree(t *testing.T) {
@@ -222,7 +222,7 @@ func TestSharingMasksCutDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared := NewSimulator(c, ctrl)
+	shared := MustSimulator(c, ctrl)
 	cut := Vector{Kind: CutVector, Valves: []int{1, 3}, Sources: []int{0}, Meters: []int{1}}
 	if !shared.FaultFreeOK(cut) {
 		t.Fatal("cut must still separate under sharing")
@@ -231,7 +231,7 @@ func TestSharingMasksCutDetection(t *testing.T) {
 		t.Fatal("sharing should mask stuck-at-1 on v1 for this cut")
 	}
 	// The same fault IS detected with independent control.
-	indep := NewSimulator(c, chip.IndependentControl(c))
+	indep := MustSimulator(c, chip.IndependentControl(c))
 	if !indep.FaultFreeOK(cut) {
 		t.Fatal("cut must separate under independent control")
 	}

@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func TestNewSimulatorControlMismatch(t *testing.T) {
+	a := chip.IVD()
+	b := chip.RA30()
+	ctrl := chip.IndependentControl(a)
+	sim, err := NewSimulator(b, ctrl)
+	if sim != nil {
+		t.Fatal("got a simulator for a mismatched chip/control pair")
+	}
+	if !errors.Is(err, ErrControlMismatch) {
+		t.Fatalf("err = %v, want ErrControlMismatch", err)
+	}
+}
+
+func TestNewSimulatorMatchingControl(t *testing.T) {
+	c := chip.IVD()
+	sim, err := NewSimulator(c, chip.IndependentControl(c))
+	if err != nil || sim == nil {
+		t.Fatalf("NewSimulator = (%v, %v), want a simulator", sim, err)
+	}
+}
+
+func TestMustSimulatorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSimulator did not panic on a mismatched control assignment")
+		}
+	}()
+	MustSimulator(chip.RA30(), chip.IndependentControl(chip.IVD()))
+}

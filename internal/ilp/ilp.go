@@ -10,6 +10,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -89,6 +90,16 @@ const intTol = 1e-6
 // Solve runs depth-first branch and bound and returns the best integral
 // solution found.
 func (m *Model) Solve(opts Options) (Result, error) {
+	return m.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation. The context is checked
+// at every branch-and-bound node (and inside each LP relaxation); when it
+// expires the search stops within one node and returns the incumbent with
+// Status Feasible, or Aborted when no incumbent exists yet. Cancellation is
+// treated exactly like an expired node/time budget — the error is nil and
+// the Result reports how far the search got.
+func (m *Model) SolveCtx(ctx context.Context, opts Options) (Result, error) {
 	n := m.P.NumVars()
 	for i := 0; i < n; i++ {
 		lb, ub := m.P.Bounds(i)
@@ -126,11 +137,18 @@ func (m *Model) Solve(opts Options) (Result, error) {
 	res := Result{}
 
 	baseOv := m.P.DefaultOverrides()
+	aborted := false
 	for len(stack) > 0 {
 		if res.Nodes >= maxNodes {
+			aborted = true
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			aborted = true
+			break
+		}
+		if ctx.Err() != nil {
+			aborted = true
 			break
 		}
 		nd := stack[len(stack)-1]
@@ -142,8 +160,14 @@ func (m *Model) Solve(opts Options) (Result, error) {
 		for i, v := range nd.fixedVar {
 			ov[v] = [2]float64{nd.fixedVal[i], nd.fixedVal[i]}
 		}
-		sol, err := m.P.Solve(ov)
+		sol, err := m.P.SolveCtx(ctx, ov)
 		if err != nil {
+			if sol.Status == lp.Canceled {
+				// Context expired mid-relaxation: stop the search and keep
+				// the incumbent, like any other expired budget.
+				aborted = true
+				break
+			}
 			return res, err
 		}
 		switch sol.Status {
@@ -190,7 +214,7 @@ func (m *Model) Solve(opts Options) (Result, error) {
 		}
 	}
 
-	exhausted := len(stack) == 0
+	exhausted := len(stack) == 0 && !aborted
 	if bestX == nil {
 		if exhausted {
 			res.Status = Infeasible

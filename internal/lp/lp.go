@@ -14,6 +14,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -132,6 +133,10 @@ const (
 	Infeasible
 	Unbounded
 	IterLimit
+	// Canceled means the solve's context expired mid-simplex; the partial
+	// tableau state carries no usable solution. SolveCtx pairs this status
+	// with the context's error.
+	Canceled
 )
 
 func (s Status) String() string {
@@ -144,6 +149,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case Canceled:
+		return "canceled"
 	}
 	return "unknown"
 }
@@ -156,10 +163,11 @@ type Solution struct {
 }
 
 const (
-	eps       = 1e-9
-	pivotEps  = 1e-7
-	blandTrip = 5000 // iterations of Dantzig before switching to Bland's rule
-	iterCap   = 200000
+	eps          = 1e-9
+	pivotEps     = 1e-7
+	blandTrip    = 5000 // iterations of Dantzig before switching to Bland's rule
+	iterCap      = 200000
+	ctxCheckMask = 63 // poll the context every 64 simplex iterations
 )
 
 // Solve optimizes the problem. Overrides, if non-nil, replaces the variable
@@ -167,6 +175,14 @@ const (
 // to keep the problem's own bounds. This is how branch-and-bound fixes
 // binaries without copying the model.
 func (p *Problem) Solve(overrides [][2]float64) (Solution, error) {
+	return p.SolveCtx(context.Background(), overrides)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the simplex polls ctx
+// every ctxCheckMask+1 pivots and, when the context is cancelled or its
+// deadline expires, abandons the solve and returns the context's error with
+// Status Canceled.
+func (p *Problem) SolveCtx(ctx context.Context, overrides [][2]float64) (Solution, error) {
 	n := len(p.obj)
 	if overrides != nil && len(overrides) != n {
 		return Solution{}, errors.New("lp: overrides length mismatch")
@@ -198,7 +214,11 @@ func (p *Problem) Solve(overrides [][2]float64) (Solution, error) {
 		}
 	}
 	t := newTableau(p, lb, ub)
+	t.ctx = ctx
 	sol := t.solve()
+	if sol.Status == Canceled {
+		return sol, ctx.Err()
+	}
 	return sol, nil
 }
 
@@ -221,6 +241,7 @@ func (p *Problem) DefaultOverrides() [][2]float64 {
 // added for >= and = rows.
 type tableau struct {
 	p        *Problem
+	ctx      context.Context
 	nOrig    int       // original variable count
 	lbShift  []float64 // lb used for shifting
 	m        int       // rows
@@ -340,8 +361,8 @@ func (t *tableau) solve() Solution {
 			c[j] = 1
 		}
 		obj, status := t.optimize(c, true)
-		if status == IterLimit {
-			return Solution{Status: IterLimit}
+		if status == IterLimit || status == Canceled {
+			return Solution{Status: status}
 		}
 		if obj > 1e-6 {
 			return Solution{Status: Infeasible}
@@ -363,6 +384,8 @@ func (t *tableau) solve() Solution {
 		return Solution{Status: Unbounded}
 	case IterLimit:
 		return Solution{Status: IterLimit}
+	case Canceled:
+		return Solution{Status: Canceled}
 	}
 	x := make([]float64, t.nOrig)
 	for i, bi := range t.basis {
@@ -415,6 +438,9 @@ func (t *tableau) optimize(c []float64, phase1 bool) (float64, Status) {
 		basic[bi] = true
 	}
 	for iter := 0; iter < iterCap; iter++ {
+		if iter&ctxCheckMask == 0 && t.ctx != nil && t.ctx.Err() != nil {
+			return 0, Canceled
+		}
 		useBland := iter > blandTrip
 		enter := -1
 		best := -eps

@@ -1,0 +1,111 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err() calls, giving deterministic mid-solve cancellation
+// without wall-clock races.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// branchy returns an LP with enough variables and constraints that the
+// simplex needs a healthy number of pivots.
+func branchy(n int) *Problem {
+	p := NewProblem(Maximize)
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVar(float64(1+i%7), 0, math.Inf(1), "x")
+	}
+	for i := 0; i+2 < n; i++ {
+		p.AddConstraint(Constraint{
+			Terms: []Term{{vars[i], 1}, {vars[i+1], 2}, {vars[i+2], 1}},
+			Rel:   LE, RHS: float64(3 + i%5),
+		})
+	}
+	return p
+}
+
+func TestSolveCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := branchy(20).SolveCtx(ctx, nil)
+	if sol.Status != Canceled {
+		t.Fatalf("status = %v, want Canceled", sol.Status)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveCtxExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	sol, err := branchy(20).SolveCtx(ctx, nil)
+	if sol.Status != Canceled {
+		t.Fatalf("status = %v, want Canceled", sol.Status)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// pollCounter counts context polls without ever cancelling.
+type pollCounter struct {
+	context.Context
+	n int
+}
+
+func (c *pollCounter) Err() error {
+	c.n++
+	return nil
+}
+
+func TestSolveCtxMidSolveCancellation(t *testing.T) {
+	// The simplex polls the context every ctxCheckMask+1 pivots. Probe how
+	// often this problem polls, then cancel halfway through: deterministic
+	// mid-solve cancellation with no wall-clock dependence.
+	p := branchy(200)
+	probe := &pollCounter{Context: context.Background()}
+	if _, err := p.SolveCtx(probe, nil); err != nil {
+		t.Fatal(err)
+	}
+	if probe.n < 2 {
+		t.Fatalf("problem too easy to cancel mid-solve: %d context polls", probe.n)
+	}
+	ctx := &countdownCtx{Context: context.Background(), remaining: probe.n / 2}
+	sol, err := p.SolveCtx(ctx, nil)
+	if sol.Status != Canceled {
+		t.Fatalf("status = %v, want Canceled", sol.Status)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	p := branchy(20)
+	want, errW := p.Solve(nil)
+	got, errG := p.SolveCtx(context.Background(), nil)
+	if (errW == nil) != (errG == nil) {
+		t.Fatalf("Solve err = %v, SolveCtx err = %v", errW, errG)
+	}
+	if want.Status != got.Status || math.Abs(want.Obj-got.Obj) > 1e-9 {
+		t.Fatalf("Solve = (%v, %v), SolveCtx = (%v, %v)", want.Status, want.Obj, got.Status, got.Obj)
+	}
+}

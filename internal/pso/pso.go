@@ -15,6 +15,7 @@
 package pso
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -67,12 +68,27 @@ type Result struct {
 	Trace []float64
 	// Evaluations counts fitness calls.
 	Evaluations int
+	// Interrupted reports that the context expired before the configured
+	// iterations completed; BestX/BestFitness still hold the best position
+	// found so far (graceful degradation, never a lost search).
+	Interrupted bool
 }
 
 // Minimize runs PSO over [0,1]^dim. fitness returns the quality of a
 // position (lower is better; +Inf for invalid). The search is fully
 // deterministic for a fixed Config.Seed.
 func Minimize(dim int, fitness func(x []float64) float64, cfg Config) Result {
+	return MinimizeCtx(context.Background(), dim, fitness, cfg)
+}
+
+// MinimizeCtx is Minimize with cooperative cancellation: the context is
+// checked between particle updates, and on expiry the best position found
+// so far is returned with Interrupted set. At least one particle is always
+// evaluated, so BestX is usable even under an already-cancelled context.
+func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64, cfg Config) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if dim <= 0 {
@@ -90,6 +106,7 @@ func Minimize(dim int, fitness func(x []float64) float64, cfg Config) Result {
 	gbestF := math.Inf(1)
 	evals := 0
 
+	interrupted := false
 	for i := range swarm {
 		p := particle{
 			x: make([]float64, dim),
@@ -98,6 +115,13 @@ func Minimize(dim int, fitness func(x []float64) float64, cfg Config) Result {
 		for d := 0; d < dim; d++ {
 			p.x[d] = rng.Float64()
 			p.v[d] = (rng.Float64()*2 - 1) * cfg.VMax
+		}
+		// The first particle is always evaluated so the result carries a
+		// real position; afterwards an expired context stops initialization.
+		if i > 0 && ctx.Err() != nil {
+			interrupted = true
+			swarm = swarm[:i]
+			break
 		}
 		f := fitness(p.x)
 		evals++
@@ -112,8 +136,12 @@ func Minimize(dim int, fitness func(x []float64) float64, cfg Config) Result {
 	trace := make([]float64, 0, cfg.Iterations+1)
 	trace = append(trace, gbestF)
 
-	for it := 0; it < cfg.Iterations; it++ {
+	for it := 0; it < cfg.Iterations && !interrupted; it++ {
 		for i := range swarm {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			p := &swarm[i]
 			for d := 0; d < dim; d++ {
 				r1, r2 := rng.Float64(), rng.Float64()
@@ -149,7 +177,7 @@ func Minimize(dim int, fitness func(x []float64) float64, cfg Config) Result {
 		}
 		trace = append(trace, gbestF)
 	}
-	return Result{BestX: gbestX, BestFitness: gbestF, Trace: trace, Evaluations: evals}
+	return Result{BestX: gbestX, BestFitness: gbestF, Trace: trace, Evaluations: evals, Interrupted: interrupted}
 }
 
 func fill(n int, v float64) []float64 {

@@ -1,0 +1,70 @@
+package pso
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestMinimizeCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := MinimizeCtx(ctx, 3, sphere, Config{Particles: 5, Iterations: 40})
+	if !res.Interrupted {
+		t.Fatal("Interrupted = false under a pre-cancelled context")
+	}
+	if res.Evaluations < 1 {
+		t.Fatalf("Evaluations = %d, want at least the first particle", res.Evaluations)
+	}
+	if len(res.BestX) != 3 {
+		t.Fatalf("BestX = %v, want a usable 3-dim position", res.BestX)
+	}
+	if math.IsInf(res.BestFitness, 0) || math.IsNaN(res.BestFitness) {
+		t.Fatalf("BestFitness = %v, want a real evaluated value", res.BestFitness)
+	}
+}
+
+func TestMinimizeCtxMidRunCancellation(t *testing.T) {
+	// Cancel from inside the fitness function after a fixed number of
+	// evaluations: the swarm must stop early and keep the best-so-far.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const stopAt = 7
+	evals := 0
+	best := math.Inf(1)
+	fit := func(x []float64) float64 {
+		evals++
+		if evals == stopAt {
+			cancel()
+		}
+		f := sphere(x)
+		if f < best {
+			best = f
+		}
+		return f
+	}
+	cfg := Config{Particles: 5, Iterations: 100}
+	res := MinimizeCtx(ctx, 4, fit, cfg)
+	if !res.Interrupted {
+		t.Fatal("Interrupted = false after mid-run cancel")
+	}
+	full := cfg.Particles * (cfg.Iterations + 1)
+	if res.Evaluations >= full {
+		t.Fatalf("Evaluations = %d, want an early stop (< %d)", res.Evaluations, full)
+	}
+	if res.BestFitness != best {
+		t.Fatalf("BestFitness = %v, want best seen %v", res.BestFitness, best)
+	}
+}
+
+func TestMinimizeCtxNilAndBackground(t *testing.T) {
+	a := MinimizeCtx(nil, 2, sphere, Config{Particles: 4, Iterations: 10, Seed: 3})
+	b := MinimizeCtx(context.Background(), 2, sphere, Config{Particles: 4, Iterations: 10, Seed: 3})
+	if a.Interrupted || b.Interrupted {
+		t.Fatal("uncancelled runs reported Interrupted")
+	}
+	if a.BestFitness != b.BestFitness || a.Evaluations != b.Evaluations {
+		t.Fatalf("nil ctx run (%v, %d evals) differs from Background run (%v, %d evals)",
+			a.BestFitness, a.Evaluations, b.BestFitness, b.Evaluations)
+	}
+}

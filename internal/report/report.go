@@ -22,6 +22,30 @@ type Document struct {
 	CutVectors  []TestVector `json:"cut_vectors"`
 	Execution   Execution    `json:"execution_times_s"`
 	RuntimeMS   int64        `json:"flow_runtime_ms"`
+	Solver      SolverInfo   `json:"solver"`
+}
+
+// SolverInfo records the degradation provenance of the flow: which tier
+// of the augmentation chain produced the configuration, whether the flow
+// degraded or was interrupted, and what every tier attempt did.
+type SolverInfo struct {
+	Tier         int             `json:"tier"`
+	TierName     string          `json:"tier_name"`
+	Reason       string          `json:"reason"`
+	Degraded     bool            `json:"degraded"`
+	Interrupted  bool            `json:"interrupted"`
+	CoverageFull bool            `json:"coverage_full"`
+	Attempts     []SolverAttempt `json:"attempts,omitempty"`
+}
+
+// SolverAttempt is one tier execution of the augmentation chain.
+type SolverAttempt struct {
+	Tier      int    `json:"tier"`
+	Name      string `json:"name"`
+	Reason    string `json:"reason"`
+	Error     string `json:"error,omitempty"`
+	Injected  string `json:"injected,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
 }
 
 // ChipInfo describes the augmented architecture.
@@ -111,6 +135,24 @@ func Build(res *core.Result) Document {
 			DFTIndependent: res.ExecIndependent,
 		},
 		RuntimeMS: res.Runtime.Milliseconds(),
+		Solver: SolverInfo{
+			Tier:         res.Solve.Tier,
+			TierName:     res.Solve.Name,
+			Reason:       string(res.Solve.Reason),
+			Degraded:     res.Solve.Degraded,
+			Interrupted:  res.Interrupted,
+			CoverageFull: res.CoverageFull,
+		},
+	}
+	for _, a := range res.Solve.Attempts {
+		doc.Solver.Attempts = append(doc.Solver.Attempts, SolverAttempt{
+			Tier:      a.Tier,
+			Name:      a.Name,
+			Reason:    string(a.Reason),
+			Error:     a.Error,
+			Injected:  string(a.Injected),
+			ElapsedMS: a.Elapsed.Milliseconds(),
+		})
 	}
 	for _, d := range c.Devices {
 		pos := c.Grid.CoordOf(d.Node)
@@ -187,8 +229,13 @@ func (d Document) Validate() error {
 	if len(d.Sharing) != len(d.Chip.DFTValves) {
 		return fmt.Errorf("report: %d sharing pairs for %d DFT valves", len(d.Sharing), len(d.Chip.DFTValves))
 	}
-	if len(d.PathVectors) == 0 || len(d.CutVectors) == 0 {
+	if len(d.PathVectors) == 0 {
 		return fmt.Errorf("report: empty test program")
+	}
+	// Degraded repair-tier results may lack a complete stuck-at-1 cover;
+	// a full-coverage document must have cut vectors.
+	if len(d.CutVectors) == 0 && d.Solver.CoverageFull {
+		return fmt.Errorf("report: empty cut-vector set in a full-coverage test program")
 	}
 	for _, v := range d.PathVectors {
 		if v.Kind != "path" || !v.ExpectsFlow {

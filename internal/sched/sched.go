@@ -13,6 +13,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/assay"
@@ -89,10 +90,24 @@ func Run(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Sche
 	return sch, err
 }
 
+// RunCtx is Run with cooperative cancellation (see RunProgressCtx).
+func RunCtx(ctx context.Context, c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, error) {
+	sch, _, err := RunProgressCtx(ctx, c, ctrl, g, params)
+	return sch, err
+}
+
 // RunProgress is Run that also reports how many operations completed; on
 // failure the count tells how far the schedule got before wedging, which
 // the PSO uses to grade nearly-schedulable sharing schemes.
 func RunProgress(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, int, error) {
+	return RunProgressCtx(context.Background(), c, ctrl, g, params)
+}
+
+// RunProgressCtx is RunProgress with cooperative cancellation: the context
+// is polled at every simulated event time and, on expiry, the run stops
+// with the context's error and the operations-completed count reached so
+// far.
+func RunProgressCtx(ctx context.Context, c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, int, error) {
 	if err := g.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -103,6 +118,7 @@ func RunProgress(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params
 		return nil, 0, fmt.Errorf("sched: control assignment belongs to a different chip")
 	}
 	s := newSimState(c, ctrl, g, params.withDefaults())
+	s.ctx = ctx
 	sch, err := s.run()
 	return sch, s.doneOps, err
 }
@@ -112,6 +128,16 @@ func RunProgress(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params
 // quality ∞).
 func ExecutionTime(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (int, bool) {
 	sch, err := Run(c, ctrl, g, params)
+	if err != nil {
+		return 0, false
+	}
+	return sch.ExecutionTime, true
+}
+
+// ExecutionTimeCtx is ExecutionTime with cooperative cancellation; an
+// expired context reports ok=false.
+func ExecutionTimeCtx(ctx context.Context, c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (int, bool) {
+	sch, err := RunCtx(ctx, c, ctrl, g, params)
 	if err != nil {
 		return 0, false
 	}

@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	c := chip.IVD()
+	_, err := RunCtx(nil1(), c, nil, assay.IVD(), Params{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func nil1() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestRunProgressCtxReportsPartialProgress(t *testing.T) {
+	c := chip.IVD()
+	g := assay.IVD()
+	sch, done, err := RunProgress(c, nil, g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != g.NumOps() || sch == nil {
+		t.Fatalf("reference run: %d/%d ops", done, g.NumOps())
+	}
+	_, doneC, err := RunProgressCtx(nil1(), c, nil, g, Params{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if doneC >= done {
+		t.Fatalf("cancelled run completed %d ops, reference %d; want a strict early stop", doneC, done)
+	}
+}
+
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	c := chip.IVD()
+	g := assay.IVD()
+	a, errA := Run(c, nil, g, Params{})
+	b, errB := RunCtx(context.Background(), c, nil, g, Params{})
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v / %v", errA, errB)
+	}
+	if a.ExecutionTime != b.ExecutionTime {
+		t.Fatalf("Run time %d, RunCtx time %d", a.ExecutionTime, b.ExecutionTime)
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,6 +22,7 @@ type simState struct {
 	ctrl   *chip.Control
 	graph  *assay.Graph
 	params Params
+	ctx    context.Context // nil = never cancelled
 
 	ops      []opCtl
 	products []productCtl
@@ -78,6 +80,11 @@ func newSimState(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, p Params) *si
 
 func (s *simState) run() (*Schedule, error) {
 	for s.doneOps < s.graph.NumOps() {
+		if s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sched: cancelled at t=%d (%d/%d ops done): %w", s.now, s.doneOps, s.graph.NumOps(), err)
+			}
+		}
 		if s.now > s.params.MaxTime {
 			return nil, fmt.Errorf("sched: exceeded time horizon %ds at t=%d", s.params.MaxTime, s.now)
 		}

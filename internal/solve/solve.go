@@ -1,0 +1,339 @@
+// Package solve orchestrates tiered solver pipelines with graceful
+// degradation. A Runner tries a chain of tiers — typically exact ILP,
+// then a fast heuristic, then a best-effort greedy repair — giving each
+// tier its own time budget, converting panics into structured errors, and
+// recording full provenance (which tier produced the result, why the
+// earlier tiers failed, and how long each attempt took).
+//
+// The package also provides deterministic fault injection: a test or a
+// CLI flag can force tier N to time out, panic, or report infeasibility,
+// exercising the exact degradation paths that real overload would take.
+package solve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Reason classifies why a tier attempt ended.
+type Reason string
+
+const (
+	// ReasonOK: the tier produced a result.
+	ReasonOK Reason = "ok"
+	// ReasonTimeout: the tier's own budget expired.
+	ReasonTimeout Reason = "timeout"
+	// ReasonCancelled: the caller's context was cancelled (Ctrl-C or an
+	// enclosing deadline), which stops the whole chain, not just the tier.
+	ReasonCancelled Reason = "cancelled"
+	// ReasonPanic: the tier panicked; the panic was recovered and
+	// converted into a *PanicError.
+	ReasonPanic Reason = "panic"
+	// ReasonInfeasible: the tier proved its formulation infeasible.
+	ReasonInfeasible Reason = "infeasible"
+	// ReasonError: any other tier failure.
+	ReasonError Reason = "error"
+)
+
+// FaultKind selects what an Injection forces a tier to do.
+type FaultKind string
+
+const (
+	// FaultTimeout hands the tier an already-expired deadline, so the
+	// tier's real cooperative-cancellation path runs and must return
+	// promptly.
+	FaultTimeout FaultKind = "timeout"
+	// FaultPanic makes the tier panic inside the Runner's recover scope.
+	FaultPanic FaultKind = "panic"
+	// FaultInfeasible makes the tier report infeasibility without running.
+	FaultInfeasible FaultKind = "infeasible"
+)
+
+// Injection deterministically forces a fault at the named tier. Tier
+// matching is by TierSpec.Name.
+type Injection struct {
+	Tier string    `json:"tier"`
+	Kind FaultKind `json:"kind"`
+}
+
+// ParseInjections parses a CLI spec like "exact:timeout,heuristic:panic"
+// into injections.
+func ParseInjections(spec string) ([]Injection, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Injection
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tier, kind, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("solve: bad injection %q (want tier:kind)", part)
+		}
+		k := FaultKind(strings.TrimSpace(kind))
+		switch k {
+		case FaultTimeout, FaultPanic, FaultInfeasible:
+		default:
+			return nil, fmt.Errorf("solve: bad injection kind %q (want timeout|panic|infeasible)", kind)
+		}
+		out = append(out, Injection{Tier: strings.TrimSpace(tier), Kind: k})
+	}
+	return out, nil
+}
+
+// TierSpec describes one tier of a degradation chain.
+type TierSpec[T any] struct {
+	// Tier is the position in the chain (0 = most exact), recorded in
+	// provenance.
+	Tier int
+	// Name identifies the tier ("exact", "heuristic", "repair") for
+	// provenance and fault injection.
+	Name string
+	// Budget caps the tier's wall-clock time; 0 means no per-tier cap
+	// (the caller's context still applies).
+	Budget time.Duration
+	// Run executes the tier. It must honor ctx cooperatively.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Attempt records one tier execution for provenance.
+type Attempt struct {
+	Tier    int           `json:"tier"`
+	Name    string        `json:"name"`
+	Budget  time.Duration `json:"budget"`
+	Elapsed time.Duration `json:"elapsed"`
+	Reason  Reason        `json:"reason"`
+	// Err is nil for the successful attempt.
+	Err error `json:"-"`
+	// Error is Err's message, for JSON provenance.
+	Error string `json:"error,omitempty"`
+	// Injected notes a deterministically injected fault, "" otherwise.
+	Injected FaultKind `json:"injected,omitempty"`
+
+	// value holds the tier's result on success.
+	value any
+}
+
+// Provenance records how an Outcome was produced.
+type Provenance struct {
+	// Tier and Name identify the tier that produced the result.
+	Tier int    `json:"tier"`
+	Name string `json:"name"`
+	// Budget is the producing tier's budget.
+	Budget time.Duration `json:"budget"`
+	// Reason is ReasonOK on success; on total failure it is the last
+	// attempt's reason.
+	Reason Reason `json:"reason"`
+	// Degraded is true when any tier before the producing one failed.
+	Degraded bool `json:"degraded"`
+	// Attempts lists every tier tried, in order.
+	Attempts []Attempt `json:"attempts"`
+}
+
+// Outcome is a chain result with provenance.
+type Outcome[T any] struct {
+	Value T
+	Provenance
+}
+
+// PanicError is a recovered tier panic.
+type PanicError struct {
+	Tier  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("solve: tier %q panicked: %v", e.Tier, e.Value)
+}
+
+// ExhaustedError reports that no tier of a chain produced a result.
+// Tiers is the chain length; cancellation may stop the chain with fewer
+// attempts than tiers.
+type ExhaustedError struct {
+	Tiers    int
+	Attempts []Attempt
+}
+
+func (e *ExhaustedError) Error() string {
+	parts := make([]string, 0, len(e.Attempts))
+	for _, a := range e.Attempts {
+		parts = append(parts, fmt.Sprintf("%s: %s", a.Name, a.Reason))
+	}
+	return fmt.Sprintf("solve: no tier produced a result, %d of %d attempted (%s)",
+		len(e.Attempts), e.Tiers, strings.Join(parts, ", "))
+}
+
+// Unwrap exposes the last attempt's error for errors.Is/As.
+func (e *ExhaustedError) Unwrap() error {
+	if len(e.Attempts) == 0 {
+		return nil
+	}
+	return e.Attempts[len(e.Attempts)-1].Err
+}
+
+// Runner executes a degradation chain.
+type Runner[T any] struct {
+	Tiers []TierSpec[T]
+	// Inject lists deterministic faults to force, matched by tier name.
+	Inject []Injection
+	// InfeasibleErr, if non-nil, is the domain's infeasibility sentinel:
+	// tier errors matching it (errors.Is) classify as ReasonInfeasible,
+	// and FaultInfeasible injections wrap it.
+	InfeasibleErr error
+}
+
+// injectionFor returns the injection targeting the named tier, if any.
+func (r *Runner[T]) injectionFor(name string) (Injection, bool) {
+	for _, inj := range r.Inject {
+		if inj.Tier == name {
+			return inj, true
+		}
+	}
+	return Injection{}, false
+}
+
+// classify maps a tier error to a Reason.
+func (r *Runner[T]) classify(err error) Reason {
+	switch {
+	case err == nil:
+		return ReasonOK
+	case errors.As(err, new(*PanicError)):
+		return ReasonPanic
+	case errors.Is(err, context.DeadlineExceeded):
+		return ReasonTimeout
+	case errors.Is(err, context.Canceled):
+		return ReasonCancelled
+	case r.InfeasibleErr != nil && errors.Is(err, r.InfeasibleErr):
+		return ReasonInfeasible
+	default:
+		return ReasonError
+	}
+}
+
+// ErrUnknownInjectionTier reports a fault injection naming a tier that is
+// not in the chain (a typo, or "exact" without the exact tier enabled).
+// Callers map it to a usage error.
+var ErrUnknownInjectionTier = errors.New("solve: injection targets unknown tier")
+
+// errInjectedInfeasible backs FaultInfeasible when the Runner has no
+// domain sentinel configured.
+var errInjectedInfeasible = errors.New("solve: injected infeasibility")
+
+// Run tries each tier in order until one succeeds. The caller's ctx
+// cancels the whole chain: once it is done, no further tier starts and
+// Run returns the context's error wrapped in an *ExhaustedError. If every
+// tier fails for its own reasons, Run returns an *ExhaustedError listing
+// all attempts. Panics inside a tier are recovered into *PanicError and
+// treated as that tier's failure.
+func (r *Runner[T]) Run(ctx context.Context) (Outcome[T], error) {
+	var zero T
+	out := Outcome[T]{Value: zero}
+	for _, inj := range r.Inject {
+		found := false
+		for _, tier := range r.Tiers {
+			if tier.Name == inj.Tier {
+				found = true
+				break
+			}
+		}
+		if !found {
+			names := make([]string, len(r.Tiers))
+			for i, tier := range r.Tiers {
+				names[i] = tier.Name
+			}
+			return out, fmt.Errorf("%w: %q (chain has %s)",
+				ErrUnknownInjectionTier, inj.Tier, strings.Join(names, ", "))
+		}
+	}
+	for i, tier := range r.Tiers {
+		if err := ctx.Err(); err != nil {
+			out.Attempts = append(out.Attempts, Attempt{
+				Tier: tier.Tier, Name: tier.Name, Budget: tier.Budget,
+				Reason: ReasonCancelled, Err: err, Error: err.Error(),
+			})
+			break
+		}
+		att := r.runTier(ctx, tier)
+		out.Attempts = append(out.Attempts, att)
+		if att.Err == nil {
+			out.Tier = tier.Tier
+			out.Name = tier.Name
+			out.Budget = tier.Budget
+			out.Reason = ReasonOK
+			out.Degraded = i > 0
+			out.Value = att.value.(T)
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			// The caller is gone; trying cheaper tiers is pointless.
+			break
+		}
+	}
+	last := out.Attempts[len(out.Attempts)-1]
+	out.Tier = last.Tier
+	out.Name = last.Name
+	out.Budget = last.Budget
+	out.Reason = last.Reason
+	out.Degraded = len(out.Attempts) > 1
+	return out, &ExhaustedError{Tiers: len(r.Tiers), Attempts: out.Attempts}
+}
+
+// runTier executes one tier with its budget, injection, and panic
+// recovery.
+func (r *Runner[T]) runTier(ctx context.Context, tier TierSpec[T]) (att Attempt) {
+	att = Attempt{Tier: tier.Tier, Name: tier.Name, Budget: tier.Budget}
+	start := time.Now()
+	defer func() {
+		att.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			att.Err = &PanicError{Tier: tier.Name, Value: p, Stack: debug.Stack()}
+		}
+		att.Reason = r.classify(att.Err)
+		if att.Err != nil {
+			att.Error = att.Err.Error()
+		}
+	}()
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if inj, ok := r.injectionFor(tier.Name); ok {
+		att.Injected = inj.Kind
+		switch inj.Kind {
+		case FaultInfeasible:
+			if r.InfeasibleErr != nil {
+				att.Err = fmt.Errorf("injected: %w", r.InfeasibleErr)
+			} else {
+				att.Err = errInjectedInfeasible
+			}
+			return att
+		case FaultPanic:
+			// Panic inside the recover scope above: the conversion to
+			// *PanicError is the real production path.
+			panic(fmt.Sprintf("injected panic at tier %q", tier.Name))
+		case FaultTimeout:
+			// Pre-expired deadline: the tier's genuine cooperative
+			// cancellation path must notice and return promptly.
+			runCtx, cancel = context.WithDeadline(ctx, time.Now().Add(-time.Second))
+		}
+	} else if tier.Budget > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, tier.Budget)
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+
+	v, err := tier.Run(runCtx)
+	if err != nil {
+		att.Err = err
+		return att
+	}
+	att.value = v
+	return att
+}

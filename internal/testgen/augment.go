@@ -35,11 +35,16 @@ type Augmentation struct {
 	// Source and Meter are port IDs on Chip (the paper's fixed test pair:
 	// the two most distant ports).
 	Source, Meter int
-	// Method records which engine produced the configuration ("ilp" or
-	// "heuristic").
+	// Method records which engine produced the configuration ("ilp",
+	// "heuristic" or "repair").
 	Method string
 	// ILPNodes and LazyCuts are solver statistics (zero for heuristic).
 	ILPNodes, LazyCuts int
+	// Uncovered lists original edges the best-effort repair engine could
+	// not place on any test path (unroutable, or the budget expired).
+	// Always nil for the "ilp" and "heuristic" engines, whose results
+	// cover every original edge by construction.
+	Uncovered []int
 }
 
 // NumPaths returns the number of test paths.
@@ -118,12 +123,16 @@ func applyAugmentation(c *chip.Chip, added []int) (*chip.Chip, error) {
 // Verify fault-simulates the augmentation's path vectors (plus the given
 // cut vectors, if any) under the control assignment and reports coverage of
 // all stuck-at-0 and stuck-at-1 faults. Pass a nil control for independent
-// control.
-func (a *Augmentation) Verify(ctrl *chip.Control, cuts []fault.Vector) fault.Coverage {
+// control. It returns an error when the control assignment belongs to a
+// different chip.
+func (a *Augmentation) Verify(ctrl *chip.Control, cuts []fault.Vector) (fault.Coverage, error) {
 	if ctrl == nil {
 		ctrl = chip.IndependentControl(a.Chip)
 	}
-	sim := fault.NewSimulator(a.Chip, ctrl)
+	sim, err := fault.NewSimulator(a.Chip, ctrl)
+	if err != nil {
+		return fault.Coverage{}, err
+	}
 	vectors := append(a.PathVectors(), cuts...)
-	return sim.EvaluateCoverage(vectors, fault.AllFaults(a.Chip))
+	return sim.EvaluateCoverage(vectors, fault.AllFaults(a.Chip)), nil
 }

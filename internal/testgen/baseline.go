@@ -167,7 +167,7 @@ func baselinePathVectors(c *chip.Chip) ([]fault.Vector, error) {
 // baselineCutVectors generates cuts per valve using the best port pair for
 // each valve, then greedily covers all valves.
 func baselineCutVectors(c *chip.Chip) ([]fault.Vector, error) {
-	sim := fault.NewSimulator(c, chip.IndependentControl(c))
+	sim := fault.MustSimulator(c, chip.IndependentControl(c))
 	g := c.Grid.Graph()
 	channelOnly := func(e int) bool {
 		_, ok := c.ValveOnEdge(e)

@@ -1,0 +1,136 @@
+package testgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/grid"
+)
+
+func cxy(x, y int) grid.Coord { return grid.Coord{X: x, Y: y} }
+
+// starChip has three channel edges incident to the test source P0. Each
+// test path leaves the source over exactly one edge (eq. (2)), so any
+// cover needs at least three paths: |P| = 2 is genuinely infeasible.
+func starChip() *chip.Chip {
+	b := chip.NewBuilder("star", 3, 3)
+	b.AddChannel(cxy(0, 0), cxy(0, 1), cxy(0, 2))
+	b.AddChannel(cxy(0, 1), cxy(1, 1), cxy(2, 1))
+	b.AddDevice(chip.Mixer, "M1", cxy(1, 1))
+	b.AddPort("P0", cxy(0, 1))
+	b.AddPort("P1", cxy(2, 1))
+	return b.MustBuild()
+}
+
+func TestAugmentILPInfeasibleSentinel(t *testing.T) {
+	_, err := AugmentILPCtx(context.Background(), starChip(), Options{MaxPaths: 2})
+	if err == nil {
+		t.Fatal("|P| = 2 on a three-spoke source was reported feasible")
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrInfeasible)", err)
+	}
+}
+
+func TestAugmentILPGrowsPathCountPastInfeasible(t *testing.T) {
+	aug, err := AugmentILPCtx(context.Background(), starChip(), Options{MaxPaths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.NumPaths() < 3 {
+		t.Fatalf("cover uses %d paths, the three-spoke source needs at least 3", aug.NumPaths())
+	}
+	checkAugmentation(t, starChip(), aug)
+}
+
+func TestAugmentILPCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := AugmentILPCtx(ctx, chip.IVD(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAugmentHeuristicCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := AugmentHeuristicCtx(ctx, chip.IVD(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAugmentRepairFullCoverage(t *testing.T) {
+	// With no pressure the repair tier covers everything: same result
+	// quality as the heuristic, but tagged with its own method.
+	aug, err := AugmentRepair(context.Background(), chip.IVD(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.Method != "repair" {
+		t.Fatalf("Method = %q, want \"repair\"", aug.Method)
+	}
+	if len(aug.Uncovered) != 0 {
+		t.Fatalf("Uncovered = %v, want none on an unconstrained run", aug.Uncovered)
+	}
+	checkAugmentation(t, chip.IVD(), aug)
+}
+
+func TestAugmentRepairPartialUnderCancellation(t *testing.T) {
+	// A dead context must not fail the repair tier: it returns whatever it
+	// covered (possibly nothing) and lists the rest as Uncovered.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	aug, err := AugmentRepair(ctx, chip.IVD(), Options{})
+	if err != nil {
+		t.Fatalf("best-effort repair failed under cancellation: %v", err)
+	}
+	if len(aug.Uncovered) == 0 {
+		t.Fatal("cancelled repair reported full coverage")
+	}
+	if aug.Method != "repair" {
+		t.Fatalf("Method = %q, want \"repair\"", aug.Method)
+	}
+}
+
+func TestGenerateCutsCtxCancelled(t *testing.T) {
+	c := chip.IVD()
+	src, dst := c.MaxDistantPortPair()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GenerateCutsCtx(ctx, c, src, dst)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCutILPMaxNodesPlumbing(t *testing.T) {
+	// A one-node budget cannot prove optimality; the optimal generator must
+	// fall back to the greedy cover instead of failing.
+	aug, err := AugmentHeuristic(chip.IVD(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, src, dst := aug.Chip, aug.Source, aug.Meter
+	tiny, err := GenerateCutsOptimalCtx(context.Background(), c, src, dst, Options{ILPMaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := GenerateCuts(c, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiny) != len(greedy) {
+		t.Fatalf("1-node budget produced %d cuts, greedy fallback has %d", len(tiny), len(greedy))
+	}
+	full, err := GenerateCutsOptimalCtx(context.Background(), c, src, dst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) > len(greedy) {
+		t.Fatalf("default budget produced %d cuts, worse than greedy's %d", len(full), len(greedy))
+	}
+}

@@ -1,6 +1,7 @@
 package testgen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,6 +10,10 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/lp"
 )
+
+// DefaultCutILPMaxNodes caps the set-cover branch-and-bound when
+// Options.ILPMaxNodes is 0.
+const DefaultCutILPMaxNodes = 4000
 
 // GenerateCutsOptimal produces a minimum-cardinality set of test-cut
 // vectors between ports src and dst covering the stuck-at-1 fault of every
@@ -20,11 +25,20 @@ import (
 // path ILP. GenerateCuts remains the fast greedy variant used inside the
 // PSO loop.
 func GenerateCutsOptimal(c *chip.Chip, src, dst int) ([]fault.Vector, error) {
+	return GenerateCutsOptimalCtx(context.Background(), c, src, dst, Options{})
+}
+
+// GenerateCutsOptimalCtx is GenerateCutsOptimal with cooperative
+// cancellation and tunable solver budget (Options.ILPMaxNodes; 0 means
+// DefaultCutILPMaxNodes). When the set-cover ILP runs out of budget it
+// falls back to the greedy cover; when the context is cancelled it returns
+// the context's error.
+func GenerateCutsOptimalCtx(ctx context.Context, c *chip.Chip, src, dst int, opts Options) ([]fault.Vector, error) {
 	cands, err := enumerateCutCandidates(c, src, dst, 3)
 	if err != nil {
 		return nil, err
 	}
-	sim := fault.NewSimulator(c, chip.IndependentControl(c))
+	sim := fault.MustSimulator(c, chip.IndependentControl(c))
 
 	// Detection sets.
 	type scored struct {
@@ -84,9 +98,18 @@ func GenerateCutsOptimal(c *chip.Chip, src, dst int) ([]fault.Vector, error) {
 		}
 		p.AddConstraint(lp.Constraint{Terms: terms, Rel: lp.GE, RHS: 1})
 	}
-	res, err := ilp.NewModel(p).Solve(ilp.Options{MaxNodes: 4000})
+	maxNodes := opts.ILPMaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultCutILPMaxNodes
+	}
+	res, err := ilp.NewModel(p).SolveCtx(ctx, ilp.Options{MaxNodes: maxNodes})
 	if err != nil {
 		return nil, err
+	}
+	if res.Status == ilp.Aborted {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("testgen: cut set-cover cancelled: %w", ctxErr)
+		}
 	}
 	if res.Status == ilp.Infeasible || res.Status == ilp.Aborted {
 		return GenerateCuts(c, src, dst) // greedy fallback

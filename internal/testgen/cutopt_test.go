@@ -17,7 +17,7 @@ func TestOptimalCutsCoverAllBenchmarks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}
-		sim := fault.NewSimulator(aug.Chip, chip.IndependentControl(aug.Chip))
+		sim := fault.MustSimulator(aug.Chip, chip.IndependentControl(aug.Chip))
 		var faults []fault.Fault
 		for v := 0; v < aug.Chip.NumValves(); v++ {
 			faults = append(faults, fault.Fault{Kind: fault.StuckAt1, Valve: v})

@@ -1,6 +1,7 @@
 package testgen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,7 +22,13 @@ import (
 // sharing-induced masking is re-checked by the caller with its own control
 // assignment.
 func GenerateCuts(c *chip.Chip, src, dst int) ([]fault.Vector, error) {
-	sim := fault.NewSimulator(c, chip.IndependentControl(c))
+	return GenerateCutsCtx(context.Background(), c, src, dst)
+}
+
+// GenerateCutsCtx is GenerateCuts with cooperative cancellation, checked
+// once per valve during candidate generation.
+func GenerateCutsCtx(ctx context.Context, c *chip.Chip, src, dst int) ([]fault.Vector, error) {
+	sim := fault.MustSimulator(c, chip.IndependentControl(c))
 	srcNode, dstNode := c.Ports[src].Node, c.Ports[dst].Node
 	g := c.Grid.Graph()
 	channelOnly := func(e int) bool {
@@ -48,6 +55,9 @@ func GenerateCuts(c *chip.Chip, src, dst int) ([]fault.Vector, error) {
 	}
 
 	for valve := 0; valve < c.NumValves(); valve++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("testgen: cut generation cancelled at valve %d/%d: %w", valve, c.NumValves(), err)
+		}
 		edge := c.Valve(valve).Edge
 		cutEdges, err := cutThroughWithLeak(g, srcNode, dstNode, edge, channelOnly)
 		if err != nil {

@@ -1,6 +1,7 @@
 package testgen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -16,6 +17,35 @@ import (
 // minimal in added edges. The two-level PSO uses this engine to evaluate
 // many configurations quickly; AugmentILP provides the exact optimum.
 func AugmentHeuristic(c *chip.Chip, opts Options) (*Augmentation, error) {
+	return AugmentHeuristicCtx(context.Background(), c, opts)
+}
+
+// AugmentHeuristicCtx is AugmentHeuristic with cooperative cancellation,
+// checked once per covered target edge. A cancelled run fails with the
+// context's error; an uncoverable edge fails with an error wrapping
+// ErrInfeasible.
+func AugmentHeuristicCtx(ctx context.Context, c *chip.Chip, opts Options) (*Augmentation, error) {
+	return augmentGreedy(ctx, c, opts, false)
+}
+
+// AugmentRepair is the last-resort degradation tier: the same greedy
+// engine in best-effort mode. Targets that cannot be routed — or that
+// remain when the context expires — are skipped and recorded in
+// Augmentation.Uncovered instead of failing the whole configuration, so
+// the tier always returns a usable (possibly partial) DFT configuration.
+// It fails only when even a partial configuration cannot be built.
+func AugmentRepair(ctx context.Context, c *chip.Chip, opts Options) (*Augmentation, error) {
+	return augmentGreedy(ctx, c, opts, true)
+}
+
+// augmentGreedy is the shared greedy engine. With bestEffort=false every
+// original edge must be covered and cancellation aborts the run; with
+// bestEffort=true unroutable or out-of-budget targets are collected in
+// Augmentation.Uncovered and the partial configuration is returned.
+func augmentGreedy(ctx context.Context, c *chip.Chip, opts Options, bestEffort bool) (*Augmentation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	srcPort, dstPort, srcNode, dstNode := testPorts(c)
 	g := c.Grid.Graph()
 	nEdges := g.NumEdges()
@@ -61,13 +91,29 @@ func AugmentHeuristic(c *chip.Chip, opts Options) (*Augmentation, error) {
 	})
 
 	var paths [][]int
+	var uncovered []int
+	expired := false
 	for _, target := range targets {
 		if covered[target] {
 			continue
 		}
+		if !expired && ctx.Err() != nil {
+			if !bestEffort {
+				return nil, fmt.Errorf("testgen: heuristic cancelled with %d targets left: %w", remainingTargets(targets, covered, target), ctx.Err())
+			}
+			expired = true
+		}
+		if expired {
+			uncovered = append(uncovered, target)
+			continue
+		}
 		path, err := routeThrough(c, srcNode, dstNode, target, cost)
 		if err != nil {
-			return nil, fmt.Errorf("testgen: heuristic cannot cover edge %d: %w", target, err)
+			if bestEffort {
+				uncovered = append(uncovered, target)
+				continue
+			}
+			return nil, fmt.Errorf("testgen: heuristic cannot cover edge %d: %w (%w)", target, err, ErrInfeasible)
 		}
 		for _, e := range path {
 			covered[e] = true
@@ -88,14 +134,35 @@ func AugmentHeuristic(c *chip.Chip, opts Options) (*Augmentation, error) {
 	if err != nil {
 		return nil, err
 	}
+	method := "heuristic"
+	if bestEffort {
+		method = "repair"
+	}
 	return &Augmentation{
 		Chip:       aug,
 		AddedEdges: added,
 		Paths:      paths,
 		Source:     srcPort,
 		Meter:      dstPort,
-		Method:     "heuristic",
+		Method:     method,
+		Uncovered:  uncovered,
 	}, nil
+}
+
+// remainingTargets counts not-yet-covered targets from `from` onward
+// (inclusive), for cancellation diagnostics.
+func remainingTargets(targets []int, covered []bool, from int) int {
+	n := 0
+	seen := false
+	for _, t := range targets {
+		if t == from {
+			seen = true
+		}
+		if seen && !covered[t] {
+			n++
+		}
+	}
+	return n
 }
 
 // routeThrough finds a simple s-t path through the edge `through`,

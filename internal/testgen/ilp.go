@@ -1,6 +1,8 @@
 package testgen
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/chip"
@@ -14,22 +16,37 @@ import (
 // as described in Section 3. Loops in path solutions are excluded lazily
 // with subtour-elimination constraints (technique of ref. [16]).
 func AugmentILP(c *chip.Chip, opts Options) (*Augmentation, error) {
+	return AugmentILPCtx(context.Background(), c, opts)
+}
+
+// AugmentILPCtx is AugmentILP with cooperative cancellation: the context is
+// threaded into every branch-and-bound node and LP relaxation, so an
+// expired deadline or a Ctrl-C stops the solve within one node. A
+// cancelled solve returns the context's error (wrapped); an instance that
+// is genuinely uncoverable returns an error wrapping ErrInfeasible.
+func AugmentILPCtx(ctx context.Context, c *chip.Chip, opts Options) (*Augmentation, error) {
 	srcPort, dstPort, srcNode, dstNode := testPorts(c)
-	var lastErr error
+	var lastErr error = ErrInfeasible
 	for nPaths := 2; nPaths <= opts.maxPaths(); nPaths++ {
-		aug, err := solvePathILP(c, srcPort, dstPort, srcNode, dstNode, nPaths, opts)
+		aug, err := solvePathILP(ctx, c, srcPort, dstPort, srcNode, dstNode, nPaths, opts)
 		if err == nil {
 			return aug, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The budget is gone; retrying with more paths cannot help.
+			return nil, err
 		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("testgen: no DFT configuration with up to %d paths: %w", opts.maxPaths(), lastErr)
 }
 
-// errInfeasible marks |P| values that admit no cover.
-var errInfeasible = fmt.Errorf("infeasible")
+// ErrInfeasible marks augmentation instances (or |P| values) that admit no
+// cover. Callers distinguish "genuinely infeasible" from "budget expired"
+// with errors.Is(err, ErrInfeasible).
+var ErrInfeasible = errors.New("testgen: infeasible")
 
-func solvePathILP(c *chip.Chip, srcPort, dstPort, srcNode, dstNode, nPaths int, opts Options) (*Augmentation, error) {
+func solvePathILP(ctx context.Context, c *chip.Chip, srcPort, dstPort, srcNode, dstNode, nPaths int, opts Options) (*Augmentation, error) {
 	g := c.Grid.Graph()
 	nEdges := g.NumEdges()
 	nNodes := g.NumNodes()
@@ -160,14 +177,17 @@ func solvePathILP(c *chip.Chip, srcPort, dstPort, srcNode, dstNode, nPaths int, 
 	if maxNodes <= 0 {
 		maxNodes = 4000
 	}
-	res, err := ilp.NewModel(prob).Solve(ilp.Options{MaxNodes: maxNodes, Lazy: lazy})
+	res, err := ilp.NewModel(prob).SolveCtx(ctx, ilp.Options{MaxNodes: maxNodes, Lazy: lazy})
 	if err != nil {
 		return nil, err
 	}
 	switch res.Status {
 	case ilp.Infeasible:
-		return nil, fmt.Errorf("%w: |P|=%d", errInfeasible, nPaths)
+		return nil, fmt.Errorf("%w: |P|=%d", ErrInfeasible, nPaths)
 	case ilp.Aborted:
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("testgen: ILP cancelled at |P|=%d after %d nodes: %w", nPaths, res.Nodes, ctxErr)
+		}
 		return nil, fmt.Errorf("testgen: ILP aborted at |P|=%d after %d nodes", nPaths, res.Nodes)
 	}
 

@@ -26,7 +26,11 @@ func TestRandomChipsSingleSourceSingleMeterProperty(t *testing.T) {
 			t.Errorf("seed %d (%s): cut generation failed: %v", seed, c.Name, err)
 			continue
 		}
-		cov := aug.Verify(nil, cuts)
+		cov, err := aug.Verify(nil, cuts)
+		if err != nil {
+			t.Errorf("seed %d (%s): verify failed: %v", seed, c.Name, err)
+			continue
+		}
 		if !cov.Full() {
 			t.Errorf("seed %d (%s): coverage %v, undetected %v", seed, c.Name, cov, cov.Undetected)
 			continue
@@ -54,7 +58,10 @@ func TestFPVANeedsNoAugmentation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cov := aug.Verify(nil, cuts)
+	cov, err := aug.Verify(nil, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !cov.Full() {
 		t.Fatalf("FPVA coverage %v, undetected %v", cov, cov.Undetected)
 	}
@@ -81,8 +88,8 @@ func TestILPOnRandomChipIsValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cov := exact.Verify(nil, cuts); !cov.Full() {
-		t.Fatalf("ILP augmentation coverage %v", cov)
+	if cov, err := exact.Verify(nil, cuts); err != nil || !cov.Full() {
+		t.Fatalf("ILP augmentation coverage %v (err %v)", cov, err)
 	}
 }
 

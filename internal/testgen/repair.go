@@ -28,7 +28,11 @@ import (
 // It returns the (possibly extended) vector sets and whether full coverage
 // of all stuck-at-0/1 faults was achieved.
 func RepairVectors(c *chip.Chip, ctrl *chip.Control, src, meter int, basePaths, baseCuts []fault.Vector) (paths, cuts []fault.Vector, ok bool) {
-	sim := fault.NewSimulator(c, ctrl)
+	sim, err := fault.NewSimulator(c, ctrl)
+	if err != nil {
+		// A mismatched control assignment cannot certify coverage.
+		return basePaths, baseCuts, false
+	}
 	paths = append([]fault.Vector(nil), basePaths...)
 	cuts = append([]fault.Vector(nil), baseCuts...)
 

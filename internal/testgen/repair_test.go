@@ -45,7 +45,7 @@ func TestRepairFixesMaskedCuts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := fault.NewSimulator(aug.Chip, ctrl)
+	sim := fault.MustSimulator(aug.Chip, ctrl)
 	base := append(append([]fault.Vector{}, paths...), cuts...)
 	covBefore := sim.EvaluateCoverage(base, fault.AllFaults(aug.Chip))
 	p2, c2, full := RepairVectors(aug.Chip, ctrl, aug.Source, aug.Meter, paths, cuts)
@@ -100,7 +100,7 @@ func TestRepairReportsUnfixable(t *testing.T) {
 	if full {
 		// Not fatal — the exact geometry depends on the heuristic's pick —
 		// but verify the claimed coverage honestly.
-		sim := fault.NewSimulator(aug.Chip, ctrl)
+		sim := fault.MustSimulator(aug.Chip, ctrl)
 		p2, c2, _ := RepairVectors(aug.Chip, ctrl, aug.Source, aug.Meter, paths, cuts)
 		cov := sim.EvaluateCoverage(append(append([]fault.Vector{}, p2...), c2...), fault.AllFaults(aug.Chip))
 		if !cov.Full() {
@@ -128,7 +128,7 @@ func TestRepairAgreesWithSimulatorAcrossPairs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := fault.NewSimulator(aug.Chip, ctrl)
+		sim := fault.MustSimulator(aug.Chip, ctrl)
 		p2, c2, full := RepairVectors(aug.Chip, ctrl, aug.Source, aug.Meter, paths, cuts)
 		cov := sim.EvaluateCoverage(append(append([]fault.Vector{}, p2...), c2...), fault.AllFaults(aug.Chip))
 		if full != cov.Full() {

@@ -98,7 +98,7 @@ func TestPathVectorsDetectAllStuckAt0(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}
-		sim := fault.NewSimulator(a.Chip, chip.IndependentControl(a.Chip))
+		sim := fault.MustSimulator(a.Chip, chip.IndependentControl(a.Chip))
 		vectors := a.PathVectors()
 		var faults []fault.Fault
 		for v := 0; v < a.Chip.NumValves(); v++ {
@@ -121,7 +121,7 @@ func TestCutsDetectAllStuckAt1(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}
-		sim := fault.NewSimulator(a.Chip, chip.IndependentControl(a.Chip))
+		sim := fault.MustSimulator(a.Chip, chip.IndependentControl(a.Chip))
 		var faults []fault.Fault
 		for v := 0; v < a.Chip.NumValves(); v++ {
 			faults = append(faults, fault.Fault{Kind: fault.StuckAt1, Valve: v})
@@ -143,7 +143,10 @@ func TestVerifyFullCoverageSingleSourceSingleMeter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cov := a.Verify(nil, cuts)
+	cov, err := a.Verify(nil, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !cov.Full() {
 		t.Fatalf("full single-source single-meter coverage expected: %v (undetected %v)", cov, cov.Undetected)
 	}
@@ -194,7 +197,7 @@ func TestBaselineVectorsCoverOriginalChip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}
-		sim := fault.NewSimulator(c, chip.IndependentControl(c))
+		sim := fault.MustSimulator(c, chip.IndependentControl(c))
 		cov := sim.EvaluateCoverage(append(append([]fault.Vector{}, paths...), cuts...), fault.AllFaults(c))
 		if !cov.Full() {
 			t.Errorf("%s: baseline coverage %v, undetected %v", c.Name, cov, cov.Undetected)
@@ -250,7 +253,7 @@ func TestGenerateCutsSingleSourceMeters(t *testing.T) {
 	if len(cuts) == 0 {
 		t.Fatal("no cuts generated")
 	}
-	sim := fault.NewSimulator(a.Chip, chip.IndependentControl(a.Chip))
+	sim := fault.MustSimulator(a.Chip, chip.IndependentControl(a.Chip))
 	for _, cut := range cuts {
 		if !sim.FaultFreeOK(cut) {
 			t.Fatalf("cut %v does not separate on a good chip", cut)
