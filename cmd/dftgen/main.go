@@ -58,6 +58,7 @@ func run() int {
 		asJSON    = flag.Bool("json", false, "emit the result as a JSON test program")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the best result so far is emitted")
 		injectStr = flag.String("inject", "", "force faults in the augmentation chain, e.g. exact:timeout,heuristic:panic (degradation drills)")
+		workers   = flag.Int("workers", 0, "fault-simulation worker-pool size (0 = all CPU cores)")
 	)
 	flag.Parse()
 
@@ -123,11 +124,12 @@ func run() int {
 	}
 
 	res, err := dft.RunCtx(ctx, c, a, core.Options{
-		Outer:  pso.Config{Particles: *particles, Iterations: *iters},
-		Inner:  pso.Config{Particles: *particles, Iterations: 8},
-		Seed:   *seed,
-		UseILP: *useILP,
-		Inject: inject,
+		Outer:   pso.Config{Particles: *particles, Iterations: *iters},
+		Inner:   pso.Config{Particles: *particles, Iterations: 8},
+		Seed:    *seed,
+		UseILP:  *useILP,
+		Inject:  inject,
+		Workers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
@@ -202,7 +204,7 @@ func run() int {
 		return exitError
 	}
 	vectors := append(append([]dft.Vector{}, res.PathVectors...), res.CutVectors...)
-	cov := sim.EvaluateCoverage(vectors, dft.AllFaults(res.Aug.Chip))
+	cov := dft.NewEngine(sim, *workers).EvaluateCoverage(vectors, dft.AllFaults(res.Aug.Chip))
 	fmt.Printf("fault coverage under sharing: %v\n", cov)
 
 	fmt.Println()

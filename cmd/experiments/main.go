@@ -48,6 +48,7 @@ func main() {
 		seed      = flag.Int64("seed", 2018, "random seed")
 		useILP    = flag.Bool("ilp", false, "solve the exact augmentation ILP for the reference configuration")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); interrupted runs report their best result so far")
+		workers   = flag.Int("workers", 0, "fault-simulation worker-pool size (0 = all CPU cores)")
 	)
 	flag.Parse()
 	if !*table1 && !*fig7 && !*fig8 && !*fig9 && !*controlF && !*all {
@@ -55,10 +56,11 @@ func main() {
 		os.Exit(2)
 	}
 	opts := core.Options{
-		Outer:  pso.Config{Particles: *particles, Iterations: *iters},
-		Inner:  pso.Config{Particles: *particles, Iterations: 8},
-		Seed:   *seed,
-		UseILP: *useILP,
+		Outer:   pso.Config{Particles: *particles, Iterations: *iters},
+		Inner:   pso.Config{Particles: *particles, Iterations: 8},
+		Seed:    *seed,
+		UseILP:  *useILP,
+		Workers: *workers,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

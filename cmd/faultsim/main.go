@@ -3,7 +3,11 @@
 // and fault-simulates every stuck-at-0/1 defect against every vector,
 // printing the detection matrix and the final coverage.
 //
-//	faultsim -chip RA30_chip [-matrix] [-baseline] [-timeout 30s]
+//	faultsim -chip RA30_chip [-matrix] [-baseline] [-timeout 30s] [-workers 4]
+//
+// The campaign runs on the parallel memoized engine; -workers sizes the
+// worker pool (default: all CPU cores). Coverage output is bit-identical
+// for any worker count.
 //
 // Exit codes: 0 success; 1 error; 2 usage; 4 cancelled (Ctrl-C, SIGTERM
 // or -timeout expired before the campaign finished).
@@ -39,6 +43,7 @@ func run() int {
 		baseline = flag.Bool("baseline", false, "also run the multi-instrument baseline on the original chip")
 		optimal  = flag.Bool("optimal", false, "use the exact minimum cut-set cover (ILP) instead of the greedy one")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+		workers  = flag.Int("workers", 0, "fault-simulation worker-pool size (0 = all CPU cores)")
 	)
 	flag.Parse()
 	c, ok := dft.ChipByName(*chipName)
@@ -105,7 +110,10 @@ func run() int {
 		}
 	}
 
-	cov := sim.EvaluateCoverage(vectors, faults)
+	cov, err := dft.NewEngine(sim, *workers).EvaluateCoverageCtx(ctx, vectors, faults)
+	if err != nil {
+		return fail(err)
+	}
 	fmt.Printf("\nsingle-source single-meter coverage: %v\n", cov)
 	for _, f := range cov.Undetected {
 		fmt.Printf("  UNDETECTED: %v\n", f)
@@ -120,7 +128,10 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
-		bcov := bsim.EvaluateCoverage(append(append([]dft.Vector{}, bp...), bc...), dft.AllFaults(c))
+		bcov, err := dft.NewEngine(bsim, *workers).EvaluateCoverageCtx(ctx, append(append([]dft.Vector{}, bp...), bc...), dft.AllFaults(c))
+		if err != nil {
+			return fail(err)
+		}
 		maxInstr := 0
 		for _, v := range bp {
 			if n := len(v.Sources) + len(v.Meters); n > maxInstr {

@@ -171,12 +171,26 @@ func AllFaults(c *Chip) []Fault { return fault.AllFaults(c) }
 // NewSimulator returns a pressure-propagation fault simulator for the chip
 // under the given control assignment (nil for independent control). It
 // returns fault.ErrControlMismatch when the control assignment was built
-// for a different chip.
+// for a different chip. The simulator memoizes fault-free states and
+// readings per vector, so repeated queries never re-derive the good-chip
+// behaviour.
 func NewSimulator(c *Chip, ctrl *Control) (*fault.Simulator, error) {
 	if ctrl == nil {
 		ctrl = chip.IndependentControl(c)
 	}
 	return fault.NewSimulator(c, ctrl)
+}
+
+// Engine is the parallel, memoized fault-simulation campaign runner.
+type Engine = fault.Engine
+
+// NewEngine returns a campaign engine over sim that fans per-fault
+// detection scans out across a worker pool (workers <= 0 = all CPU cores).
+// Coverage results are bit-identical to Simulator.EvaluateCoverage for any
+// worker count, including Undetected order; EvaluateCoverageCtx stops
+// within one fault when the context is cancelled.
+func NewEngine(sim *fault.Simulator, workers int) *Engine {
+	return fault.NewEngine(sim, workers)
 }
 
 // IndependentControl gives every valve its own control line.

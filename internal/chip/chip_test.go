@@ -1,6 +1,7 @@
 package chip
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -423,4 +424,37 @@ func TestGridHelpers(t *testing.T) {
 	if grid.Manhattan(grid.Coord{X: 0, Y: 0}, grid.Coord{X: 3, Y: 4}) != 7 {
 		t.Fatal("Manhattan distance wrong")
 	}
+}
+
+// PressureReachableScratch must agree with PressureReachable for random
+// valve states, including when one scratch is reused across queries and
+// across different chips (the cached filter closure must rebind).
+func TestPressureReachableScratchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var rs ReachScratch
+	for _, c := range Benchmarks() {
+		for trial := 0; trial < 30; trial++ {
+			open := make([]bool, c.NumValves())
+			for i := range open {
+				open[i] = rng.Intn(2) == 0
+			}
+			src := c.Ports[rng.Intn(len(c.Ports))].Node
+			dst := c.Ports[rng.Intn(len(c.Ports))].Node
+			want := c.PressureReachable(src, dst, open)
+			if got := c.PressureReachableScratch(&rs, src, dst, open); got != want {
+				t.Fatalf("%s trial %d: scratch %v, plain %v", c.Name, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestPressureReachableScratchBadInput(t *testing.T) {
+	c := IVD()
+	var rs ReachScratch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong open-slice length must panic")
+		}
+	}()
+	c.PressureReachableScratch(&rs, c.Ports[0].Node, c.Ports[1].Node, make([]bool, 1))
 }

@@ -52,6 +52,10 @@ type Options struct {
 	// ExactBudget caps the exact-ILP augmentation tier's wall-clock time
 	// (0 = solve.DefaultExactBudget). Only meaningful with UseILP.
 	ExactBudget time.Duration
+	// Workers sets the fault-simulation worker-pool size used by every
+	// coverage check in the flow (0 = runtime.GOMAXPROCS). Coverage
+	// results are bit-identical for any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -335,7 +339,9 @@ func RunDFTFlowCtx(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Optio
 		und := -1
 		if sim, simErr := fault.NewSimulator(bestEval.aug.Chip, ctrl); simErr == nil {
 			all := append(append([]fault.Vector{}, finalPaths...), finalCuts...)
-			und = len(sim.EvaluateCoverage(all, fault.AllFaults(bestEval.aug.Chip)).Undetected)
+			// Finalization always runs to completion, so no ctx here.
+			cov := fault.NewEngine(sim, opts.Workers).EvaluateCoverage(all, fault.AllFaults(bestEval.aug.Chip))
+			und = len(cov.Undetected)
 		}
 		if len(bestEval.aug.Uncovered) == 0 || und < 0 || und > bestEval.baselineUndetected {
 			return nil, fmt.Errorf("core: internal error: chosen sharing lost coverage on %s/%s", c.Name, g.Name)
@@ -399,7 +405,8 @@ func (f *flow) evalAug(aug *testgen.Augmentation) *augEval {
 	if len(aug.Uncovered) > 0 {
 		if sim, err := fault.NewSimulator(aug.Chip, chip.IndependentControl(aug.Chip)); err == nil {
 			vectors := append(append([]fault.Vector{}, ev.paths...), ev.cuts...)
-			ev.baselineUndetected = len(sim.EvaluateCoverage(vectors, fault.AllFaults(aug.Chip)).Undetected)
+			cov := fault.NewEngine(sim, f.opts.Workers).EvaluateCoverage(vectors, fault.AllFaults(aug.Chip))
+			ev.baselineUndetected = len(cov.Undetected)
 		}
 	}
 	f.augCache[key] = ev
@@ -515,7 +522,12 @@ func (f *flow) computeSharingFitness(ev *augEval, partners []int) float64 {
 			return math.Inf(1)
 		}
 		vectors := append(append([]fault.Vector{}, rPaths...), rCuts...)
-		cov := sim.EvaluateCoverage(vectors, fault.AllFaults(c))
+		cov, covErr := fault.NewEngine(sim, f.opts.Workers).EvaluateCoverageCtx(f.ctx, vectors, fault.AllFaults(c))
+		if covErr != nil {
+			// Cancelled mid-campaign: the surrounding PSO is unwinding, so
+			// any finite fitness here would be discarded anyway.
+			return math.Inf(1)
+		}
 		if len(cov.Undetected) > ev.baselineUndetected {
 			return penaltyBase + 1e6*float64(len(cov.Undetected))
 		}

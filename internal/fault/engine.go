@@ -1,0 +1,148 @@
+// Engine: the parallel, memoized fault-simulation campaign runner.
+//
+// A campaign evaluates |faults| x |vectors| pairs; the fault-free chip
+// behaviour depends only on the vector, so the engine computes it exactly
+// once per vector (phase 1, serial, shared with the Simulator's memo
+// cache) and then fans the per-fault detection scans out over a worker
+// pool (phase 2). Each worker owns its scratch buffers (faulty-state copy,
+// meter readings, BFS state), so the hot loop allocates nothing.
+//
+// Determinism: faults are indexed, each fault's verdict is independent of
+// every other fault, and the Coverage is assembled in fault order after
+// all workers finish — the result is bit-identical to the serial
+// Simulator.EvaluateCoverage for any worker count.
+package fault
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine runs fault-simulation campaigns over a worker pool, memoizing
+// per-vector fault-free state. An Engine is safe for concurrent use; it is
+// cheap to construct and may be created per campaign.
+type Engine struct {
+	sim     *Simulator
+	workers int
+}
+
+// NewEngine returns a campaign engine over sim with the given worker-pool
+// size. workers <= 0 selects runtime.GOMAXPROCS(0). Results are
+// bit-identical for every worker count.
+func NewEngine(sim *Simulator, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{sim: sim, workers: workers}
+}
+
+// Simulator returns the simulator the engine drives.
+func (e *Engine) Simulator() *Simulator { return e.sim }
+
+// Workers returns the configured worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// EvaluateCoverage is EvaluateCoverageCtx without cancellation.
+func (e *Engine) EvaluateCoverage(vectors []Vector, faults []Fault) Coverage {
+	cov, _ := e.EvaluateCoverageCtx(context.Background(), vectors, faults)
+	return cov
+}
+
+// usableVector pairs a vector with its memoized fault-free evaluation.
+type usableVector struct {
+	vec Vector
+	ev  *vectorEval
+}
+
+// EvaluateCoverageCtx fault-simulates every (vector, fault) pair across
+// the worker pool and returns the aggregate coverage. Vectors that fail
+// FaultFreeOK contribute no detections. Cancelling the context stops the
+// campaign within one fault and returns the context's error.
+func (e *Engine) EvaluateCoverageCtx(ctx context.Context, vectors []Vector, faults []Fault) (Coverage, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Coverage{}, err
+	}
+	// Phase 1: fault-free valve states and meter readings, once per
+	// vector. Hits the simulator's memo cache, so repeated campaigns over
+	// the same vector set skip this entirely.
+	usable := make([]usableVector, 0, len(vectors))
+	for _, v := range vectors {
+		if ev := e.sim.evalVector(v); ev.usable {
+			usable = append(usable, usableVector{vec: v, ev: ev})
+		}
+	}
+
+	// Phase 2: per-fault detection scans, one fault at a time per worker.
+	detected := make([]bool, len(faults))
+	workers := e.workers
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		sc := e.sim.getScratch()
+		for i, f := range faults {
+			if err := ctx.Err(); err != nil {
+				e.sim.putScratch(sc)
+				return Coverage{}, err
+			}
+			detected[i] = detectAny(e.sim, usable, f, sc)
+		}
+		e.sim.putScratch(sc)
+	} else {
+		var next atomic.Int64
+		var stopped atomic.Bool
+		done := ctx.Done()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := e.sim.getScratch()
+				defer e.sim.putScratch(sc)
+				for {
+					select {
+					case <-done:
+						stopped.Store(true)
+						return
+					default:
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(faults) {
+						return
+					}
+					detected[i] = detectAny(e.sim, usable, faults[i], sc)
+				}
+			}()
+		}
+		wg.Wait()
+		if stopped.Load() {
+			return Coverage{}, ctx.Err()
+		}
+	}
+
+	cov := Coverage{Total: len(faults)}
+	for i, f := range faults {
+		if detected[i] {
+			cov.Detected++
+		} else {
+			cov.Undetected = append(cov.Undetected, f)
+		}
+	}
+	return cov, nil
+}
+
+// detectAny reports whether any usable vector detects f, scanning vectors
+// in campaign order (first detection wins, exactly like the serial path).
+func detectAny(s *Simulator, usable []usableVector, f Fault, sc *campaignScratch) bool {
+	for _, uv := range usable {
+		if s.detectsEval(uv.vec, uv.ev, f, sc) {
+			return true
+		}
+	}
+	return false
+}

@@ -22,6 +22,8 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 
 	"repro/internal/chip"
 )
@@ -113,9 +115,28 @@ func (v Vector) String() string {
 // Simulator evaluates test vectors on a chip under a control assignment.
 // The control assignment captures valve sharing: intended valve states are
 // expanded to actual states line by line before simulation.
+//
+// The simulator memoizes the fault-free artifacts of every vector it sees
+// (actual valve states after sharing expansion, meter readings, usability),
+// keyed by vector identity, so repeated Detects/FaultFreeOK calls and whole
+// campaigns never re-derive the good-chip behaviour. All methods are safe
+// for concurrent use.
 type Simulator struct {
 	chip *chip.Chip
 	ctrl *chip.Control
+
+	mu    sync.Mutex
+	cache map[string]*vectorEval
+
+	scratch sync.Pool // *campaignScratch
+}
+
+// vectorEval memoizes the fault-free artifacts of one vector. It is
+// immutable once stored in the cache and may be read concurrently.
+type vectorEval struct {
+	open     []bool // actual valve states after sharing expansion
+	readings []bool // defect-free meter readings
+	usable   bool   // FaultFreeOK
 }
 
 // ErrControlMismatch reports a control assignment built for a different
@@ -130,7 +151,7 @@ func NewSimulator(c *chip.Chip, ctrl *chip.Control) (*Simulator, error) {
 	if ctrl.Chip() != c {
 		return nil, fmt.Errorf("%w: control is for %q, chip is %q", ErrControlMismatch, ctrl.Chip().Name, c.Name)
 	}
-	return &Simulator{chip: c, ctrl: ctrl}, nil
+	return &Simulator{chip: c, ctrl: ctrl, cache: map[string]*vectorEval{}}, nil
 }
 
 // MustSimulator is NewSimulator for call sites where the chip/control pair
@@ -172,21 +193,106 @@ func withFault(open []bool, f Fault) []bool {
 	return out
 }
 
-// meterReadings returns, for each meter in v, whether it reads pressure
-// under the given valve states.
-func (s *Simulator) meterReadings(v Vector, open []bool) []bool {
-	out := make([]bool, len(v.Meters))
-	for i, m := range v.Meters {
+// meterReadingsInto appends, for each meter in v, whether it reads pressure
+// under the given valve states. It reuses the caller's reachability scratch
+// and readings buffer, so campaign-loop calls allocate nothing.
+func (s *Simulator) meterReadingsInto(v Vector, open []bool, rs *chip.ReachScratch, out []bool) []bool {
+	for _, m := range v.Meters {
 		mNode := s.chip.Ports[m].Node
+		read := false
 		for _, src := range v.Sources {
-			if s.chip.PressureReachable(s.chip.Ports[src].Node, mNode, open) {
-				out[i] = true
+			if s.chip.PressureReachableScratch(rs, s.chip.Ports[src].Node, mNode, open) {
+				read = true
 				break
 			}
 		}
+		out = append(out, read)
 	}
 	return out
 }
+
+// meterReadings returns, for each meter in v, whether it reads pressure
+// under the given valve states.
+func (s *Simulator) meterReadings(v Vector, open []bool) []bool {
+	var rs chip.ReachScratch
+	return s.meterReadingsInto(v, open, &rs, make([]bool, 0, len(v.Meters)))
+}
+
+// usableReadings reports whether defect-free readings satisfy the vector's
+// specification: a path vector must deliver pressure to every meter; a cut
+// vector must isolate every meter from every source.
+func usableReadings(k VectorKind, readings []bool) bool {
+	for _, r := range readings {
+		if k == PathVector && !r {
+			return false
+		}
+		if k == CutVector && r {
+			return false
+		}
+	}
+	return len(readings) > 0
+}
+
+// vectorKey is a compact content key identifying a vector in the
+// memoization cache.
+func vectorKey(v Vector) string {
+	buf := make([]byte, 0, 8+4*(len(v.Valves)+len(v.Sources)+len(v.Meters)))
+	buf = strconv.AppendInt(buf, int64(v.Kind), 10)
+	for _, x := range v.Valves {
+		buf = append(buf, 'v')
+		buf = strconv.AppendInt(buf, int64(x), 10)
+	}
+	for _, x := range v.Sources {
+		buf = append(buf, 's')
+		buf = strconv.AppendInt(buf, int64(x), 10)
+	}
+	for _, x := range v.Meters {
+		buf = append(buf, 'm')
+		buf = strconv.AppendInt(buf, int64(x), 10)
+	}
+	return string(buf)
+}
+
+// evalVector returns the memoized fault-free evaluation of v, computing it
+// on first sight. The returned value is immutable.
+func (s *Simulator) evalVector(v Vector) *vectorEval {
+	key := vectorKey(v)
+	s.mu.Lock()
+	ev, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return ev
+	}
+	open := s.OpenStates(v)
+	readings := s.meterReadings(v, open)
+	ev = &vectorEval{open: open, readings: readings, usable: usableReadings(v.Kind, readings)}
+	s.mu.Lock()
+	if prev, raced := s.cache[key]; raced {
+		ev = prev // another goroutine computed it first; keep one instance
+	} else {
+		s.cache[key] = ev
+	}
+	s.mu.Unlock()
+	return ev
+}
+
+// campaignScratch holds the per-worker reusable buffers of a campaign: the
+// faulty valve-state copy, the faulty meter readings and the BFS state.
+// One scratch must not be shared between goroutines.
+type campaignScratch struct {
+	open     []bool
+	readings []bool
+	reach    chip.ReachScratch
+}
+
+func (s *Simulator) getScratch() *campaignScratch {
+	if sc, ok := s.scratch.Get().(*campaignScratch); ok {
+		return sc
+	}
+	return &campaignScratch{}
+}
+
+func (s *Simulator) putScratch(sc *campaignScratch) { s.scratch.Put(sc) }
 
 // FaultFreeOK reports whether the vector behaves as specified on a
 // defect-free chip: a path vector must deliver pressure to every meter; a
@@ -194,16 +300,7 @@ func (s *Simulator) meterReadings(v Vector, open []bool) []bool {
 // fails this check is unusable (e.g. sharing forced open a valve that
 // bypasses a cut).
 func (s *Simulator) FaultFreeOK(v Vector) bool {
-	readings := s.meterReadings(v, s.OpenStates(v))
-	for _, r := range readings {
-		if v.Kind == PathVector && !r {
-			return false
-		}
-		if v.Kind == CutVector && r {
-			return false
-		}
-	}
-	return len(readings) > 0
+	return s.evalVector(v).usable
 }
 
 // Detects reports whether vector v detects fault f: some meter reading
@@ -212,12 +309,37 @@ func (s *Simulator) FaultFreeOK(v Vector) bool {
 // forced-open partner valve provides a bypass around a stuck-at-0 valve,
 // or a forced-closed partner blocks the leak path of a stuck-at-1 valve,
 // the readings do not differ and the fault goes undetected.
+//
+// The fault-free states and readings are memoized per vector, so repeated
+// calls with the same vector only simulate the faulty chip.
 func (s *Simulator) Detects(v Vector, f Fault) bool {
-	base := s.OpenStates(v)
-	good := s.meterReadings(v, base)
-	bad := s.meterReadings(v, withFault(base, f))
-	for i := range good {
-		if good[i] != bad[i] {
+	ev := s.evalVector(v)
+	sc := s.getScratch()
+	det := s.detectsEval(v, ev, f, sc)
+	s.putScratch(sc)
+	return det
+}
+
+// detectsEval is Detects over a memoized fault-free evaluation with
+// caller-owned scratch buffers — the campaign hot path.
+func (s *Simulator) detectsEval(v Vector, ev *vectorEval, f Fault, sc *campaignScratch) bool {
+	faulty := ev.open[f.Valve]
+	switch f.Kind {
+	case StuckAt0:
+		faulty = false
+	case StuckAt1, Leakage:
+		faulty = true
+	}
+	if faulty == ev.open[f.Valve] {
+		// The fault does not change the applied states, so no reading can
+		// differ.
+		return false
+	}
+	sc.open = append(sc.open[:0], ev.open...)
+	sc.open[f.Valve] = faulty
+	sc.readings = s.meterReadingsInto(v, sc.open, &sc.reach, sc.readings[:0])
+	for i, good := range ev.readings {
+		if good != sc.readings[i] {
 			return true
 		}
 	}
@@ -250,27 +372,9 @@ func (c Coverage) String() string {
 // the aggregate coverage. Vectors that fail FaultFreeOK contribute no
 // detections (a vector that misbehaves on a good chip would reject good
 // chips, so it must not be counted on).
+//
+// The campaign runs serially; use an Engine for the parallel worker pool.
+// Both paths produce bit-identical Coverage, including Undetected order.
 func (s *Simulator) EvaluateCoverage(vectors []Vector, faults []Fault) Coverage {
-	cov := Coverage{Total: len(faults)}
-	usable := make([]Vector, 0, len(vectors))
-	for _, v := range vectors {
-		if s.FaultFreeOK(v) {
-			usable = append(usable, v)
-		}
-	}
-	for _, f := range faults {
-		detected := false
-		for _, v := range usable {
-			if s.Detects(v, f) {
-				detected = true
-				break
-			}
-		}
-		if detected {
-			cov.Detected++
-		} else {
-			cov.Undetected = append(cov.Undetected, f)
-		}
-	}
-	return cov
+	return NewEngine(s, 1).EvaluateCoverage(vectors, faults)
 }

@@ -56,3 +56,82 @@ func BenchmarkSingleDetect(b *testing.B) {
 		sim.Detects(v, f)
 	}
 }
+
+// --- seed-equivalent recomputation baseline ---------------------------------
+//
+// The seed's Detects re-derived the fault-free valve states and meter
+// readings for every (vector, fault) pair. These helpers preserve that
+// behaviour so benchmarks can compare it against the memoized engine and
+// tests can pin result equivalence.
+
+func (s *Simulator) detectsNoMemo(v Vector, f Fault) bool {
+	base := s.OpenStates(v)
+	good := s.meterReadings(v, base)
+	bad := s.meterReadings(v, withFault(base, f))
+	for i := range good {
+		if good[i] != bad[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Simulator) faultFreeOKNoMemo(v Vector) bool {
+	return usableReadings(v.Kind, s.meterReadings(v, s.OpenStates(v)))
+}
+
+func (s *Simulator) evaluateCoverageNoMemo(vectors []Vector, faults []Fault) Coverage {
+	cov := Coverage{Total: len(faults)}
+	usable := make([]Vector, 0, len(vectors))
+	for _, v := range vectors {
+		if s.faultFreeOKNoMemo(v) {
+			usable = append(usable, v)
+		}
+	}
+	for _, f := range faults {
+		detected := false
+		for _, v := range usable {
+			if s.detectsNoMemo(v, f) {
+				detected = true
+				break
+			}
+		}
+		if detected {
+			cov.Detected++
+		} else {
+			cov.Undetected = append(cov.Undetected, f)
+		}
+	}
+	return cov
+}
+
+// BenchmarkEvaluateCoverage compares one cold campaign on the largest
+// bundled design (mRNA) across the three paths: the seed's serial
+// recomputation, the memoized single-worker engine, and the full parallel
+// worker pool. A fresh simulator per iteration keeps every campaign cold.
+func BenchmarkEvaluateCoverage(b *testing.B) {
+	c := chip.MRNA()
+	vectors := benchVectors(c)
+	faults := AllFaults(c)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim := MustSimulator(c, chip.IndependentControl(c))
+			sim.evaluateCoverageNoMemo(vectors, faults)
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim := MustSimulator(c, chip.IndependentControl(c))
+			NewEngine(sim, 1).EvaluateCoverage(vectors, faults)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim := MustSimulator(c, chip.IndependentControl(c))
+			NewEngine(sim, 0).EvaluateCoverage(vectors, faults)
+		}
+	})
+}

@@ -178,6 +178,59 @@ func (g *Graph) Reachable(src, dst int, allow func(edge int) bool) bool {
 	return g.BFSFrom(src, allow)[dst] >= 0
 }
 
+// Scratch holds reusable BFS buffers for repeated reachability queries on
+// graphs of similar size. The zero value is ready to use. A Scratch may be
+// reused across graphs but must not be shared between goroutines.
+type Scratch struct {
+	seen  []int // seen[u] == epoch means u was visited this query
+	epoch int
+	queue []int
+}
+
+// ReachableScratch is Reachable with caller-owned scratch buffers: repeated
+// queries allocate nothing once the scratch has grown to the graph size.
+// It also stops as soon as dst is dequeued, so it never does more work than
+// Reachable.
+func (g *Graph) ReachableScratch(s *Scratch, src, dst int, allow func(edge int) bool) bool {
+	g.checkNode(src)
+	g.checkNode(dst)
+	if src == dst {
+		return true
+	}
+	if len(s.seen) < g.n {
+		s.seen = make([]int, g.n)
+		s.epoch = 0
+	}
+	s.epoch++
+	seen, epoch := s.seen, s.epoch
+	queue := s.queue[:0]
+	seen[src] = epoch
+	queue = append(queue, src)
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		u := queue[head]
+		for _, a := range g.adj[u] {
+			if g.edges[a.Edge].deleted {
+				continue
+			}
+			if allow != nil && !allow(a.Edge) {
+				continue
+			}
+			if seen[a.To] == epoch {
+				continue
+			}
+			if a.To == dst {
+				found = true
+				break
+			}
+			seen[a.To] = epoch
+			queue = append(queue, a.To)
+		}
+	}
+	s.queue = queue
+	return found
+}
+
 // ShortestPath returns a minimum-hop path from src to dst over live edges
 // permitted by allow, as (nodes, edges); nodes has one more element than
 // edges. ok is false if dst is unreachable.

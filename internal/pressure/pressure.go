@@ -178,8 +178,23 @@ func Solve(c *chip.Chip, conductance []float64, sourceNode, meterNode int) (Resu
 }
 
 // gauss solves the m x m system with augmented matrix a (last column RHS)
-// by Gaussian elimination with partial pivoting.
+// by Gaussian elimination with partial pivoting. The singularity threshold
+// is relative to the largest coefficient magnitude: an absolute cutoff
+// would misclassify well-conditioned systems built from tiny conductance
+// scales (e.g. nS-range) as singular.
 func gauss(a [][]float64, m int) ([]float64, error) {
+	maxAbs := 0.0
+	for r := 0; r < m; r++ {
+		for c := 0; c < m; c++ {
+			if v := math.Abs(a[r][c]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	tol := 1e-12 * maxAbs
+	if maxAbs == 0 {
+		tol = 1e-12 // all-zero coefficient matrix: every pivot is singular
+	}
 	for col := 0; col < m; col++ {
 		// Pivot.
 		piv := col
@@ -188,7 +203,7 @@ func gauss(a [][]float64, m int) ([]float64, error) {
 				piv = r
 			}
 		}
-		if math.Abs(a[piv][col]) < 1e-12 {
+		if math.Abs(a[piv][col]) <= tol {
 			return nil, fmt.Errorf("pressure: singular system at column %d", col)
 		}
 		a[col], a[piv] = a[piv], a[col]

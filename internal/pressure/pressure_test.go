@@ -181,3 +181,42 @@ func TestBadInputs(t *testing.T) {
 }
 
 func xy(x, y int) grid.Coord { return grid.Coord{X: x, Y: y} }
+
+// Regression for the gauss singularity check: the pivot tolerance is
+// scaled by the matrix magnitude, so physically tiny conductances (a
+// uniformly low-permeability chip) must solve exactly like unit ones —
+// same pressure field, flow scaled linearly — instead of failing as
+// "singular".
+func TestGaussTinyConductancesSolve(t *testing.T) {
+	c := chip.IVD()
+	src, mtr := c.Ports[0].Node, c.Ports[2].Node
+	unit := Conductances(c, allOpen(c), Params{}, nil)
+	ref, err := Solve(c, unit, src, mtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []float64{1e-13, 1e-9, 1e9} {
+		cond := make([]float64, len(unit))
+		for i, g := range unit {
+			cond[i] = g * scale
+		}
+		res, err := Solve(c, cond, src, mtr)
+		if err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		// Pressures depend only on conductance ratios.
+		for n, p := range ref.NodePressure {
+			q := res.NodePressure[n]
+			if math.IsNaN(p) != math.IsNaN(q) {
+				t.Fatalf("scale %g node %d: NaN mismatch (%v vs %v)", scale, n, p, q)
+			}
+			if !math.IsNaN(p) && math.Abs(p-q) > 1e-6 {
+				t.Fatalf("scale %g node %d: pressure %v, want %v", scale, n, q, p)
+			}
+		}
+		// Flow scales linearly with conductance.
+		if rel := math.Abs(res.MeterFlow-ref.MeterFlow*scale) / (ref.MeterFlow * scale); rel > 1e-6 {
+			t.Fatalf("scale %g: meter flow %v, want %v", scale, res.MeterFlow, ref.MeterFlow*scale)
+		}
+	}
+}

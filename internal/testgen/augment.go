@@ -134,5 +134,5 @@ func (a *Augmentation) Verify(ctrl *chip.Control, cuts []fault.Vector) (fault.Co
 		return fault.Coverage{}, err
 	}
 	vectors := append(a.PathVectors(), cuts...)
-	return sim.EvaluateCoverage(vectors, fault.AllFaults(a.Chip)), nil
+	return fault.NewEngine(sim, 0).EvaluateCoverage(vectors, fault.AllFaults(a.Chip)), nil
 }

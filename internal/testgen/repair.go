@@ -36,8 +36,9 @@ func RepairVectors(c *chip.Chip, ctrl *chip.Control, src, meter int, basePaths, 
 	paths = append([]fault.Vector(nil), basePaths...)
 	cuts = append([]fault.Vector(nil), baseCuts...)
 
+	eng := fault.NewEngine(sim, 0)
 	all := append(append([]fault.Vector{}, paths...), cuts...)
-	cov := sim.EvaluateCoverage(all, fault.AllFaults(c))
+	cov := eng.EvaluateCoverage(all, fault.AllFaults(c))
 	if cov.Full() {
 		return paths, cuts, true
 	}
@@ -77,7 +78,7 @@ func RepairVectors(c *chip.Chip, ctrl *chip.Control, src, meter int, basePaths, 
 	}
 	// Re-verify end to end: the repairs must actually close the gap.
 	all = append(append([]fault.Vector{}, paths...), cuts...)
-	cov = sim.EvaluateCoverage(all, fault.AllFaults(c))
+	cov = eng.EvaluateCoverage(all, fault.AllFaults(c))
 	return paths, cuts, cov.Full()
 }
 
