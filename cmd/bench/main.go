@@ -1,0 +1,123 @@
+// Command bench measures the fault-simulation campaign engines on the
+// largest bundled design (mRNA) and writes the results as JSON:
+//
+//	bench [-out BENCH_fault.json]
+//
+// Three variants run over the same cold campaign (fresh simulator per
+// iteration): the seed's serial recomputation baseline, the memoized
+// single-worker engine, and the parallel worker pool. The JSON records
+// ns/op, bytes/op and allocs/op per variant so regressions are diffable
+// in CI artifacts. The committed BENCH_fault.json is regenerated with:
+//
+//	go run ./cmd/bench -out BENCH_fault.json
+//
+// Exit codes: 0 success; 1 error; 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/cliutil"
+	"repro/internal/fault"
+)
+
+const tool = "bench"
+
+// Doc is the serialized benchmark report.
+type Doc struct {
+	Chip       string   `json:"chip"`
+	Vectors    int      `json:"vectors"`
+	Faults     int      `json:"faults"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// Result is one variant's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	SpeedupVs   float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	outFile := flag.String("out", "", "write the JSON report to FILE (default: stdout)")
+	flag.Parse()
+
+	c := chip.MRNA()
+	vectors := fault.BenchCampaignVectors(c)
+	faults := fault.AllFaults(c)
+
+	variants := []struct {
+		name string
+		run  func(sim *fault.Simulator)
+	}{
+		{"serial", func(sim *fault.Simulator) { fault.EvaluateCoverageBaseline(sim, vectors, faults) }},
+		{"memoized", func(sim *fault.Simulator) { fault.NewEngine(sim, 1).EvaluateCoverage(vectors, faults) }},
+		{"parallel", func(sim *fault.Simulator) { fault.NewEngine(sim, 0).EvaluateCoverage(vectors, faults) }},
+	}
+
+	doc := Doc{
+		Chip:       c.Name,
+		Vectors:    len(vectors),
+		Faults:     len(faults),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	var serialNs int64
+	for _, v := range variants {
+		run := v.run
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim, err := fault.NewSimulator(c, chip.IndependentControl(c))
+				if err != nil {
+					b.Fatal(err)
+				}
+				run(sim)
+			}
+		})
+		r := Result{
+			Name:        v.name,
+			Iterations:  br.N,
+			NsPerOp:     br.NsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+		}
+		if v.name == "serial" {
+			serialNs = r.NsPerOp
+		} else if serialNs > 0 && r.NsPerOp > 0 {
+			r.SpeedupVs = float64(serialNs) / float64(r.NsPerOp)
+		}
+		doc.Results = append(doc.Results, r)
+		fmt.Fprintf(os.Stderr, "%-9s %12d ns/op %10d B/op %8d allocs/op\n",
+			v.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	w := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return cliutil.Usagef(tool, "%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return cliutil.Fail(tool, err)
+	}
+	return cliutil.ExitOK
+}

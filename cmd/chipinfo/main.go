@@ -1,54 +1,49 @@
 // Command chipinfo prints the netlist and an ASCII rendering of a
 // benchmark chip's connection grid.
 //
-//	chipinfo -chip IVD_chip [-dft] [-timeout 10s]
+//	chipinfo -chip IVD_chip [-dft] [-timeout 10s] [-workers 4]
 //
 // With -dft the chip is first augmented for single-source single-meter
-// testability; added channels render as == and :.
+// testability; added channels render as == and :, and the test set's
+// fault coverage is verified on the -workers-sized parallel engine.
 //
 // Exit codes: 0 success; 1 error; 2 usage; 4 cancelled (Ctrl-C, SIGTERM
 // or -timeout expired during augmentation).
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro/dft"
+	"repro/internal/cliutil"
 	"repro/internal/render"
 )
 
+const tool = "chipinfo"
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	name := flag.String("chip", "IVD_chip", "IVD_chip, RA30_chip or mRNA_chip")
 	showDFT := flag.Bool("dft", false, "augment for DFT before rendering")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for augmentation (0 = none)")
+	workers := flag.Int("workers", 0, "fault-simulation worker-pool size for the -dft coverage check (0 = all CPU cores)")
 	flag.Parse()
-	c, ok := dft.ChipByName(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "chipinfo: unknown chip %q\n", *name)
-		os.Exit(2)
+	c, err := cliutil.LoadChip(*name, "")
+	if err != nil {
+		return cliutil.Usagef(tool, "%v", err)
 	}
+	var aug *dft.Augmentation
 	if *showDFT {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		ctx, stop := cliutil.SignalContext(*timeout)
 		defer stop()
-		if *timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
-			defer cancel()
-		}
-		aug, err := dft.AugmentCtx(ctx, c, false)
-		stop()
+		aug, err = dft.AugmentCtx(ctx, c, false)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "chipinfo: %v\n", err)
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				os.Exit(4)
-			}
-			os.Exit(1)
+			return cliutil.Fail(tool, err)
 		}
 		c = aug.Chip
 		fmt.Printf("augmented for test between %s and %s\n",
@@ -71,4 +66,20 @@ func main() {
 	fmt.Printf("valves: %d on channel edges (%d DFT)\n", c.NumValves(), c.NumDFTValves())
 	a, b := c.MaxDistantPortPair()
 	fmt.Printf("farthest port pair (test source/meter): %s and %s\n", c.Ports[a].Name, c.Ports[b].Name)
+
+	if aug != nil {
+		cuts, err := dft.GenerateCuts(c, aug.Source, aug.Meter)
+		if err != nil {
+			return cliutil.Fail(tool, err)
+		}
+		sim, err := dft.NewSimulator(c, nil)
+		if err != nil {
+			return cliutil.Fail(tool, err)
+		}
+		vectors := append(aug.PathVectors(), cuts...)
+		cov := dft.NewEngine(sim, *workers).EvaluateCoverage(vectors, dft.AllFaults(c))
+		fmt.Printf("test set: %d vectors (%d paths, %d cuts), %v\n",
+			len(vectors), aug.NumPaths(), len(cuts), cov)
+	}
+	return cliutil.ExitOK
 }

@@ -3,12 +3,14 @@
 // sharing scheme, and the full single-source single-meter test set.
 //
 //	dftgen -chip IVD_chip -assay IVD [-seed N] [-iters N] [-particles N] [-ilp]
-//	       [-timeout 30s] [-inject exact:timeout,heuristic:panic] [-json]
+//	       [-timeout 30s] [-inject exact:timeout,heuristic:panic] [-json] [-stats]
 //
 // The flow degrades gracefully: -timeout (or Ctrl-C / SIGTERM) stops the
 // search cooperatively and the best result found so far is still emitted.
 // -inject forces deterministic faults in the augmentation chain for
-// degradation drills.
+// degradation drills. -stats prints the per-stage runtime breakdown of
+// the flow pipeline (schedule → reference → banloop → outer → finalize);
+// with -json the breakdown is embedded in the document as "stage_stats".
 //
 // Exit codes: 0 full success; 1 error; 2 usage; 3 degraded result
 // (a fallback tier produced the configuration, the search was
@@ -16,30 +18,21 @@
 package main
 
 import (
-	"context"
-	"errors"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/dft"
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/loader"
 	"repro/internal/pso"
 	"repro/internal/report"
 	"repro/internal/solve"
 )
 
-const (
-	exitOK        = 0
-	exitError     = 1
-	exitUsage     = 2
-	exitDegraded  = 3
-	exitCancelled = 4
-)
+const tool = "dftgen"
 
 func main() {
 	os.Exit(run())
@@ -56,6 +49,7 @@ func run() int {
 		particles = flag.Int("particles", 5, "PSO particles per level")
 		useILP    = flag.Bool("ilp", false, "use the exact ILP for the reference configuration")
 		asJSON    = flag.Bool("json", false, "emit the result as a JSON test program")
+		stats     = flag.Bool("stats", false, "report the per-stage runtime breakdown of the flow pipeline")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the best result so far is emitted")
 		injectStr = flag.String("inject", "", "force faults in the augmentation chain, e.g. exact:timeout,heuristic:panic (degradation drills)")
 		workers   = flag.Int("workers", 0, "fault-simulation worker-pool size (0 = all CPU cores)")
@@ -64,64 +58,23 @@ func run() int {
 
 	inject, err := solve.ParseInjections(*injectStr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-		return exitUsage
+		return cliutil.Usagef(tool, "%v", err)
 	}
-
-	var c *dft.Chip
-	if *chipFile != "" {
-		f, err := os.Open(*chipFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			return exitUsage
-		}
-		c, err = loader.ReadChip(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			return exitUsage
-		}
-	} else {
-		var ok bool
-		c, ok = dft.ChipByName(*chipName)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "dftgen: unknown chip %q\n", *chipName)
-			return exitUsage
-		}
+	c, err := cliutil.LoadChip(*chipName, *chipFile)
+	if err != nil {
+		return cliutil.Usagef(tool, "%v", err)
 	}
-	var a *dft.Assay
-	if *assayFile != "" {
-		f, err := os.Open(*assayFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			return exitUsage
-		}
-		a, err = loader.ReadAssay(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			return exitUsage
-		}
-	} else {
-		var ok bool
-		a, ok = dft.AssayByName(*assayName)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "dftgen: unknown assay %q\n", *assayName)
-			return exitUsage
-		}
+	a, err := cliutil.LoadAssay(*assayName, *assayFile)
+	if err != nil {
+		return cliutil.Usagef(tool, "%v", err)
 	}
 	if !*asJSON {
 		fmt.Println("chip :", c)
 		fmt.Println("assay:", a)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(*timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	res, err := dft.RunCtx(ctx, c, a, core.Options{
 		Outer:   pso.Config{Particles: *particles, Iterations: *iters},
@@ -132,27 +85,26 @@ func run() int {
 		Workers: *workers,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return exitCancelled
-		}
-		if errors.Is(err, solve.ErrUnknownInjectionTier) {
-			return exitUsage
-		}
-		return exitError
+		return cliutil.Fail(tool, err)
 	}
 
 	degraded := res.Solve.Degraded || res.Interrupted || !res.CoverageFull
 
 	if *asJSON {
-		if err := report.WriteJSON(os.Stdout, res); err != nil {
-			fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-			return exitError
+		doc := report.Build(res)
+		if *stats {
+			sd := report.BuildStats(res.Stats)
+			doc.Stats = &sd
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return cliutil.Fail(tool, err)
 		}
 		if degraded {
-			return exitDegraded
+			return cliutil.ExitDegraded
 		}
-		return exitOK
+		return cliutil.ExitOK
 	}
 
 	fmt.Println()
@@ -200,8 +152,7 @@ func run() int {
 	}
 	sim, err := dft.NewSimulator(res.Aug.Chip, res.Control)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dftgen: %v\n", err)
-		return exitError
+		return cliutil.Fail(tool, err)
 	}
 	vectors := append(append([]dft.Vector{}, res.PathVectors...), res.CutVectors...)
 	cov := dft.NewEngine(sim, *workers).EvaluateCoverage(vectors, dft.AllFaults(res.Aug.Chip))
@@ -215,12 +166,18 @@ func run() int {
 	fmt.Printf("  DFT, independent ctrl  : %5d s\n", res.ExecIndependent)
 	fmt.Printf("flow runtime: %v\n", res.Runtime)
 
+	if *stats {
+		fmt.Println()
+		fmt.Println("== stage breakdown ==")
+		report.WriteStatsTable(os.Stdout, res.Stats)
+	}
+
 	if degraded {
 		fmt.Println()
 		fmt.Println("NOTE: degraded result (see == solver == above); exit status 3")
-		return exitDegraded
+		return cliutil.ExitDegraded
 	}
-	return exitOK
+	return cliutil.ExitOK
 }
 
 // printSolver renders the degradation provenance of the flow.

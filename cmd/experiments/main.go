@@ -9,30 +9,41 @@
 //
 // Flags -iters, -particles, -seed control the PSO; the defaults match the
 // paper (5 particles per level, 100 iterations). -ilp enables the exact
-// ILP for the reference DFT configuration.
+// ILP for the reference DFT configuration. -out FILE tees the report to a
+// file as well as stdout — the archived copy in docs/experiments_output.txt
+// is regenerated with:
+//
+//	go run ./cmd/experiments -all -out docs/experiments_output.txt
+//
+// -stats prints each flow's per-stage runtime breakdown to stderr (kept
+// off stdout so -out archives stay free of run-to-run timing noise).
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/dft"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/pso"
+	"repro/internal/report"
 	"repro/internal/testgen"
 )
+
+// out receives every report line; -out tees it to a file as well.
+var out io.Writer = os.Stdout
 
 // flowCtx bounds every flow run; flowFor marks degradedAny when a run
 // came back interrupted or from a fallback tier.
 var (
 	flowCtx     = context.Background()
 	degradedAny = false
+	showStats   = false
 )
 
 func main() {
@@ -49,12 +60,23 @@ func main() {
 		useILP    = flag.Bool("ilp", false, "solve the exact augmentation ILP for the reference configuration")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); interrupted runs report their best result so far")
 		workers   = flag.Int("workers", 0, "fault-simulation worker-pool size (0 = all CPU cores)")
+		outFile   = flag.String("out", "", "tee the report to FILE as well as stdout (regenerates docs/experiments_output.txt)")
+		stats     = flag.Bool("stats", false, "print each flow's per-stage runtime breakdown to stderr")
 	)
 	flag.Parse()
 	if !*table1 && !*fig7 && !*fig8 && !*fig9 && !*controlF && !*all {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cliutil.ExitUsage)
 	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			os.Exit(cliutil.Usagef("experiments", "%v", err))
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	showStats = *stats
 	opts := core.Options{
 		Outer:   pso.Config{Particles: *particles, Iterations: *iters},
 		Inner:   pso.Config{Particles: *particles, Iterations: 8},
@@ -63,13 +85,8 @@ func main() {
 		Workers: *workers,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(*timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 	flowCtx = ctx
 
 	if *table1 || *all {
@@ -89,7 +106,7 @@ func main() {
 	}
 	if degradedAny {
 		fmt.Fprintln(os.Stderr, "experiments: some runs were degraded or interrupted; exit status 3")
-		os.Exit(3)
+		os.Exit(cliutil.ExitDegraded)
 	}
 }
 
@@ -97,21 +114,21 @@ func main() {
 // control layer under the flow's sharing scheme and under independent
 // control, quantifying the "no additional control ports" claim.
 func runControl(opts core.Options) {
-	fmt.Println("=== Control-layer overhead (extension): sharing vs independent ===")
-	fmt.Printf("%-12s %26s %30s\n", "chip", "shared (ports/len/skew)", "independent (ports/len/skew)")
+	fmt.Fprintln(out, "=== Control-layer overhead (extension): sharing vs independent ===")
+	fmt.Fprintf(out, "%-12s %26s %30s\n", "chip", "shared (ports/len/skew)", "independent (ports/len/skew)")
 	for _, cn := range chipNames {
 		r := flowFor(cn, assayNames[0], opts)
 		sharedStats, indepStats, err := dft.CompareControlOverhead(r.Aug.Chip, r.Control, dft.ControlParams{})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: control on %s: %v\n", cn, err)
-			os.Exit(1)
+			os.Exit(cliutil.ExitError)
 		}
-		fmt.Printf("%-12s %10d /%5d /%4d %14d /%5d /%4d\n", cn,
+		fmt.Fprintf(out, "%-12s %10d /%5d /%4d %14d /%5d /%4d\n", cn,
 			sharedStats.Ports, sharedStats.TotalLength, sharedStats.MaxSkew,
 			indepStats.Ports, indepStats.TotalLength, indepStats.MaxSkew)
 	}
-	fmt.Println("(sharing keeps the control port count at the original valve count)")
-	fmt.Println()
+	fmt.Fprintln(out, "(sharing keeps the control port count at the original valve count)")
+	fmt.Fprintln(out)
 }
 
 // traceValue renders a convergence-trace entry: values in the invalid
@@ -137,15 +154,16 @@ func flowFor(chipName, assayName string, opts core.Options) *dft.Result {
 	res, err := dft.RunCtx(flowCtx, c, a, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %s on %s: %v\n", assayName, chipName, err)
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			os.Exit(4)
-		}
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 	if res.Solve.Degraded || res.Interrupted || !res.CoverageFull {
 		degradedAny = true
 		fmt.Fprintf(os.Stderr, "experiments: %s/%s degraded (tier %q, interrupted=%v, full coverage=%v)\n",
 			chipName, assayName, res.Solve.Name, res.Interrupted, res.CoverageFull)
+	}
+	if showStats {
+		fmt.Fprintf(os.Stderr, "-- stage breakdown %s/%s --\n", chipName, assayName)
+		report.WriteStatsTable(os.Stderr, res.Stats)
 	}
 	cache[key] = res
 	return res
@@ -155,14 +173,14 @@ var chipNames = []string{"IVD_chip", "RA30_chip", "mRNA_chip"}
 var assayNames = []string{"IVD", "PID", "CPA"}
 
 func runTable1(opts core.Options) {
-	fmt.Println("=== Table 1: Results of DFT Augmentation ===")
-	fmt.Println("per chip x assay, row 1: #DFT valves / #shared valves / runtime (s)")
-	fmt.Println("               row 2: exec time (s): original / DFT w/o PSO / DFT + PSO")
-	fmt.Printf("%-12s", "")
+	fmt.Fprintln(out, "=== Table 1: Results of DFT Augmentation ===")
+	fmt.Fprintln(out, "per chip x assay, row 1: #DFT valves / #shared valves / runtime (s)")
+	fmt.Fprintln(out, "               row 2: exec time (s): original / DFT w/o PSO / DFT + PSO")
+	fmt.Fprintf(out, "%-12s", "")
 	for _, a := range assayNames {
-		fmt.Printf(" | %-22s", a)
+		fmt.Fprintf(out, " | %-22s", a)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	for _, cn := range chipNames {
 		row1 := fmt.Sprintf("%-12s", cn)
 		row2 := fmt.Sprintf("%-12s", "")
@@ -171,63 +189,63 @@ func runTable1(opts core.Options) {
 			row1 += fmt.Sprintf(" | %3d %3d %14s", r.NumDFTValves, r.NumShared, r.Runtime.Round(time.Millisecond))
 			row2 += fmt.Sprintf(" | %6d %6d %6d ", r.ExecOriginal, r.ExecNoPSO, r.ExecPSO)
 		}
-		fmt.Println(row1)
-		fmt.Println(row2)
+		fmt.Fprintln(out, row1)
+		fmt.Fprintln(out, row2)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 func runFig7(opts core.Options) {
-	fmt.Println("=== Figure 7: Execution time, original chips vs DFT architectures")
-	fmt.Println("=== without valve sharing (independent control lines) ===")
-	fmt.Printf("%-22s %10s %14s\n", "combination", "original", "DFT+indep")
+	fmt.Fprintln(out, "=== Figure 7: Execution time, original chips vs DFT architectures")
+	fmt.Fprintln(out, "=== without valve sharing (independent control lines) ===")
+	fmt.Fprintf(out, "%-22s %10s %14s\n", "combination", "original", "DFT+indep")
 	for _, cn := range chipNames {
 		for _, an := range assayNames {
 			r := flowFor(cn, an, opts)
-			fmt.Printf("%-22s %10d %14d\n", cn+"/"+an, r.ExecOriginal, r.ExecIndependent)
+			fmt.Fprintf(out, "%-22s %10d %14d\n", cn+"/"+an, r.ExecOriginal, r.ExecIndependent)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 func runFig8(opts core.Options) {
-	fmt.Println("=== Figure 8: Number of test vectors, original chips vs DFT ===")
-	fmt.Printf("%-12s %28s %24s %12s\n", "chip", "original (multi-instrument)", "DFT (single src/meter)", "DFT test time")
+	fmt.Fprintln(out, "=== Figure 8: Number of test vectors, original chips vs DFT ===")
+	fmt.Fprintf(out, "%-12s %28s %24s %12s\n", "chip", "original (multi-instrument)", "DFT (single src/meter)", "DFT test time")
 	for _, cn := range chipNames {
 		c, _ := dft.ChipByName(cn)
 		bp, bc, err := dft.BaselineVectors(c)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: baseline on %s: %v\n", cn, err)
-			os.Exit(1)
+			os.Exit(cliutil.ExitError)
 		}
 		// DFT vector count is a property of the chip (use the IVD-assay
 		// flow's architecture).
 		r := flowFor(cn, assayNames[0], opts)
 		vectors := append(append([]dft.Vector{}, r.PathVectors...), r.CutVectors...)
 		testTime := testgen.EstimateTestTime(vectors, testgen.TestTimeParams{})
-		fmt.Printf("%-12s %20d (%dp+%dc) %16d (%dp+%dc) %10ds\n", cn,
+		fmt.Fprintf(out, "%-12s %20d (%dp+%dc) %16d (%dp+%dc) %10ds\n", cn,
 			len(bp)+len(bc), len(bp), len(bc),
 			r.NumTestVectors, len(r.PathVectors), len(r.CutVectors), testTime)
 	}
-	fmt.Println("(test time estimated at 2s actuation + 3s measurement per vector —")
-	fmt.Println(" the paper's affordability argument: well under a minute per chip)")
-	fmt.Println()
+	fmt.Fprintln(out, "(test time estimated at 2s actuation + 3s measurement per vector —")
+	fmt.Fprintln(out, " the paper's affordability argument: well under a minute per chip)")
+	fmt.Fprintln(out)
 }
 
 func runFig9(opts core.Options) {
-	fmt.Println("=== Figure 9: Execution time during PSO iterations ===")
+	fmt.Fprintln(out, "=== Figure 9: Execution time during PSO iterations ===")
 	combos := [][2]string{{"IVD_chip", "IVD"}, {"RA30_chip", "PID"}, {"mRNA_chip", "CPA"}}
 	for _, combo := range combos {
 		r := flowFor(combo[0], combo[1], opts)
-		fmt.Printf("%s/%s:\n", combo[0], combo[1])
+		fmt.Fprintf(out, "%s/%s:\n", combo[0], combo[1])
 		step := len(r.Trace) / 20
 		if step == 0 {
 			step = 1
 		}
 		for i := 0; i < len(r.Trace); i += step {
-			fmt.Printf("  iter %3d: %s\n", i, traceValue(r.Trace[i]))
+			fmt.Fprintf(out, "  iter %3d: %s\n", i, traceValue(r.Trace[i]))
 		}
-		fmt.Printf("  final   : %s\n", traceValue(r.Trace[len(r.Trace)-1]))
+		fmt.Fprintf(out, "  final   : %s\n", traceValue(r.Trace[len(r.Trace)-1]))
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }

@@ -3,11 +3,13 @@
 // and fault-simulates every stuck-at-0/1 defect against every vector,
 // printing the detection matrix and the final coverage.
 //
-//	faultsim -chip RA30_chip [-matrix] [-baseline] [-timeout 30s] [-workers 4]
+//	faultsim -chip RA30_chip [-matrix] [-baseline] [-timeout 30s] [-workers 4] [-stats]
 //
 // The campaign runs on the parallel memoized engine; -workers sizes the
 // worker pool (default: all CPU cores). Coverage output is bit-identical
-// for any worker count.
+// for any worker count. -stats prints a per-stage breakdown of the
+// campaign (augment → cuts → campaign) including the simulator's
+// memo-cache hit rate.
 //
 // Exit codes: 0 success; 1 error; 2 usage; 4 cancelled (Ctrl-C, SIGTERM
 // or -timeout expired before the campaign finished).
@@ -15,22 +17,18 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro/dft"
+	"repro/internal/cliutil"
+	"repro/internal/fault"
+	"repro/internal/flowstage"
+	"repro/internal/report"
 )
 
-const (
-	exitOK        = 0
-	exitError     = 1
-	exitUsage     = 2
-	exitCancelled = 4
-)
+const tool = "faultsim"
 
 func main() {
 	os.Exit(run())
@@ -44,49 +42,86 @@ func run() int {
 		optimal  = flag.Bool("optimal", false, "use the exact minimum cut-set cover (ILP) instead of the greedy one")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 		workers  = flag.Int("workers", 0, "fault-simulation worker-pool size (0 = all CPU cores)")
+		stats    = flag.Bool("stats", false, "report the per-stage breakdown of the campaign (incl. memo-cache hit rate)")
 	)
 	flag.Parse()
-	c, ok := dft.ChipByName(*chipName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "faultsim: unknown chip %q\n", *chipName)
-		return exitUsage
+	c, err := cliutil.LoadChip(*chipName, "")
+	if err != nil {
+		return cliutil.Usagef(tool, "%v", err)
 	}
 	fmt.Println("chip:", c)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(*timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	fail := func(err error) int {
-		fmt.Fprintln(os.Stderr, "faultsim:", err)
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return exitCancelled
-		}
-		return exitError
-	}
 
-	aug, err := dft.AugmentCtx(ctx, c, false)
+	// The campaign runs as an instrumented three-stage pipeline so -stats
+	// can attribute wall-clock and memo-cache traffic per phase.
+	metrics := fault.NewMetrics()
+	var (
+		aug     *dft.Augmentation
+		cuts    []dft.Vector
+		vectors []dft.Vector
+		sim     *fault.Simulator
+		faults  []dft.Fault
+		cov     dft.Coverage
+	)
+	memoInto := func(st *flowstage.StageStats, base fault.MetricsSnapshot) {
+		d := metrics.Snapshot().Sub(base)
+		st.CacheHits += d.MemoHits
+		st.CacheMisses += d.MemoMisses
+		st.Count("fault_memo_hits", d.MemoHits)
+		st.Count("fault_memo_misses", d.MemoMisses)
+	}
+	pipe := &flowstage.Pipeline{Stages: []flowstage.Stage{
+		{Name: "augment", Run: func(ctx context.Context, st *flowstage.StageStats) error {
+			var err error
+			aug, err = dft.AugmentCtx(ctx, c, false)
+			if err != nil {
+				return err
+			}
+			st.Count("dft_valves", int64(aug.Chip.NumDFTValves()))
+			return nil
+		}},
+		{Name: "cuts", Run: func(ctx context.Context, st *flowstage.StageStats) error {
+			var err error
+			if *optimal {
+				cuts, err = dft.GenerateCutsOptimalCtx(ctx, aug.Chip, aug.Source, aug.Meter, dft.AugmentOptions{})
+			} else {
+				cuts, err = dft.GenerateCutsCtx(ctx, aug.Chip, aug.Source, aug.Meter)
+			}
+			if err != nil {
+				return err
+			}
+			st.Count("cut_vectors", int64(len(cuts)))
+			return nil
+		}},
+		{Name: "campaign", Run: func(ctx context.Context, st *flowstage.StageStats) error {
+			base := metrics.Snapshot()
+			defer memoInto(st, base)
+			vectors = append(aug.PathVectors(), cuts...)
+			var err error
+			sim, err = dft.NewSimulator(aug.Chip, nil)
+			if err != nil {
+				return err
+			}
+			sim.SetMetrics(metrics)
+			faults = dft.AllFaults(aug.Chip)
+			cov, err = dft.NewEngine(sim, *workers).EvaluateCoverageCtx(ctx, vectors, faults)
+			if err != nil {
+				return err
+			}
+			st.Count("vectors", int64(len(vectors)))
+			st.Count("faults", int64(len(faults)))
+			return nil
+		}},
+	}}
+	pstats, err := pipe.Run(ctx)
 	if err != nil {
-		return fail(err)
+		if *stats {
+			report.WriteStatsTable(os.Stderr, pstats)
+		}
+		return cliutil.Fail(tool, err)
 	}
-	var cuts []dft.Vector
-	if *optimal {
-		cuts, err = dft.GenerateCutsOptimalCtx(ctx, aug.Chip, aug.Source, aug.Meter, dft.AugmentOptions{})
-	} else {
-		cuts, err = dft.GenerateCutsCtx(ctx, aug.Chip, aug.Source, aug.Meter)
-	}
-	if err != nil {
-		return fail(err)
-	}
-	vectors := append(aug.PathVectors(), cuts...)
-	sim, err := dft.NewSimulator(aug.Chip, nil)
-	if err != nil {
-		return fail(err)
-	}
-	faults := dft.AllFaults(aug.Chip)
 
 	fmt.Printf("augmented: +%d DFT valves, %d vectors (%d paths, %d cuts), %d faults\n",
 		aug.Chip.NumDFTValves(), len(vectors), aug.NumPaths(), len(cuts), len(faults))
@@ -110,10 +145,6 @@ func run() int {
 		}
 	}
 
-	cov, err := dft.NewEngine(sim, *workers).EvaluateCoverageCtx(ctx, vectors, faults)
-	if err != nil {
-		return fail(err)
-	}
 	fmt.Printf("\nsingle-source single-meter coverage: %v\n", cov)
 	for _, f := range cov.Undetected {
 		fmt.Printf("  UNDETECTED: %v\n", f)
@@ -122,15 +153,15 @@ func run() int {
 	if *baseline {
 		bp, bc, err := dft.BaselineVectors(c)
 		if err != nil {
-			return fail(err)
+			return cliutil.Fail(tool, err)
 		}
 		bsim, err := dft.NewSimulator(c, nil)
 		if err != nil {
-			return fail(err)
+			return cliutil.Fail(tool, err)
 		}
 		bcov, err := dft.NewEngine(bsim, *workers).EvaluateCoverageCtx(ctx, append(append([]dft.Vector{}, bp...), bc...), dft.AllFaults(c))
 		if err != nil {
-			return fail(err)
+			return cliutil.Fail(tool, err)
 		}
 		maxInstr := 0
 		for _, v := range bp {
@@ -143,5 +174,11 @@ func run() int {
 		fmt.Printf("DFT platform needs exactly 2 instruments (1 source + 1 meter) vs the baseline's %d ports wired\n",
 			len(c.Ports))
 	}
-	return exitOK
+
+	if *stats {
+		fmt.Println()
+		fmt.Println("== stage breakdown ==")
+		report.WriteStatsTable(os.Stdout, pstats)
+	}
+	return cliutil.ExitOK
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/flowstage"
 	"repro/internal/grid"
 	"repro/internal/loader"
 	"repro/internal/pso"
@@ -77,6 +78,15 @@ type (
 	SchedParams = sched.Params
 	// PSOConfig tunes one PSO level.
 	PSOConfig = pso.Config
+	// FlowObserver receives live pipeline events from a running flow
+	// (stage boundaries, solver iteration ticks, chain tier transitions,
+	// cache-hit deltas). Set it on Options.Observer; flowstage.Nop and
+	// flowstage.Multi compose observers. Observers never affect results.
+	FlowObserver = flowstage.Observer
+	// FlowStats is a flow's per-stage runtime breakdown (Result.Stats).
+	FlowStats = flowstage.Stats
+	// StageStats is one pipeline stage's share of a flow's work.
+	StageStats = flowstage.StageStats
 )
 
 // Device kinds for ChipBuilder.AddDevice.

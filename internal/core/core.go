@@ -9,25 +9,53 @@
 // detects every stuck-at-0/1 fault under the sharing (Section 4.1) and the
 // application remains schedulable; its quality is the application's
 // execution time, ∞ otherwise.
+//
+// The flow runs as an explicit flowstage.Pipeline of five stages —
+// schedule → reference → banloop → outer → finalize (one file per stage,
+// stage_*.go) — so wall-clock, solver iterations and cache traffic are
+// attributable per stage (Result.Stats) and observable live
+// (Options.Observer). The staged pipeline is bit-identical to the
+// original monolithic flow for any fixed seed.
 package core
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
-	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/assay"
 	"repro/internal/chip"
 	"repro/internal/fault"
+	"repro/internal/flowstage"
 	"repro/internal/pso"
 	"repro/internal/sched"
 	"repro/internal/solve"
 	"repro/internal/testgen"
 )
+
+// Stage names of the DFT flow pipeline, in execution order.
+const (
+	// StageSchedule checks the assay on the unmodified chip and records
+	// the original execution time.
+	StageSchedule = "schedule"
+	// StageReference produces the unbiased reference configuration via
+	// the exact→heuristic→repair degradation chain.
+	StageReference = "reference"
+	// StageBanLoop diversifies configurations by banning edges of
+	// configurations that admit no valid sharing.
+	StageBanLoop = "banloop"
+	// StageOuter runs the outer PSO over edge biases (each fitness call
+	// runs the inner sharing sub-PSO) and picks the best configuration.
+	StageOuter = "outer"
+	// StageFinalize decodes the chosen configuration: unoptimized-sharing
+	// baseline, control assignment, schedules, repaired vectors, Result.
+	StageFinalize = "finalize"
+)
+
+// StageNames lists the pipeline's stages in execution order.
+var StageNames = []string{StageSchedule, StageReference, StageBanLoop, StageOuter, StageFinalize}
 
 // Options tunes the DFT flow.
 type Options struct {
@@ -56,6 +84,11 @@ type Options struct {
 	// coverage check in the flow (0 = runtime.GOMAXPROCS). Coverage
 	// results are bit-identical for any worker count.
 	Workers int
+	// Observer receives live pipeline events: stage boundaries, solver
+	// iteration ticks, chain tier transitions, cache-hit deltas. nil
+	// disables observation. Observers never affect the search — results
+	// are bit-identical with or without one.
+	Observer flowstage.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +149,11 @@ type Result struct {
 	// column).
 	Runtime time.Duration
 
+	// Stats is the per-stage breakdown of Runtime: where wall-clock,
+	// solver iterations and cache hits went. Stats.Total equals Runtime;
+	// Stats.StageSum() accounts for all of it minus inter-stage glue.
+	Stats *flowstage.Stats
+
 	// Solve records which tier of the augmentation degradation chain
 	// produced the reference configuration and why earlier tiers failed.
 	Solve solve.Provenance
@@ -141,6 +179,15 @@ type flow struct {
 	graph *assay.Graph
 	opts  Options
 
+	// obs receives pipeline events (may be nil for hand-built flows in
+	// tests; every emit site guards). metrics aggregates fault-simulation
+	// counters across all simulators the flow creates; cur is the stats
+	// sink of the stage currently running, memoBase its metrics baseline.
+	obs      flowstage.Observer
+	metrics  *fault.Metrics
+	cur      *flowstage.StageStats
+	memoBase fault.MetricsSnapshot
+
 	execOriginal int
 
 	// allowPartial permits DFT valves without a sharing partner (own
@@ -151,6 +198,13 @@ type flow struct {
 
 	augCache   map[string]*augEval
 	innerCache map[evalCacheKey]float64
+
+	// Typed artifacts handed between pipeline stages.
+	chainOut flowstage.Artifact[solve.Outcome[*testgen.Augmentation]]
+	refEval  flowstage.Artifact[*augEval]
+	outer    flowstage.Artifact[pso.Result]
+	bestEval flowstage.Artifact[*augEval]
+	final    flowstage.Artifact[*Result]
 }
 
 // augEval caches the expensive per-configuration artifacts.
@@ -185,6 +239,10 @@ func RunDFTFlow(c *chip.Chip, g *assay.Graph, opts Options) (*Result, error) {
 // vector repair) always runs to completion so an interrupted flow still
 // returns a complete, valid result. Only a context that dies before any
 // configuration exists makes the flow fail with the context's error.
+//
+// The flow is an explicit five-stage pipeline (see StageNames); the
+// returned Result.Stats carries the per-stage breakdown and
+// opts.Observer, when set, receives every stage and solver event live.
 func RunDFTFlowCtx(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
@@ -193,191 +251,109 @@ func RunDFTFlowCtx(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Optio
 		orig:       c,
 		graph:      g,
 		opts:       opts,
+		obs:        opts.Observer,
+		metrics:    fault.NewMetrics(),
 		augCache:   map[string]*augEval{},
 		innerCache: map[evalCacheKey]float64{},
 	}
-
-	execOrig, ok := sched.ExecutionTime(c, nil, g, opts.Sched)
-	if !ok {
-		return nil, fmt.Errorf("core: assay %s is unschedulable on the original chip %s", g.Name, c.Name)
+	pipe := &flowstage.Pipeline{
+		Observer: f.obs,
+		Stages: []flowstage.Stage{
+			{Name: StageSchedule, Run: f.runScheduleStage},
+			{Name: StageReference, Run: f.runReferenceStage},
+			{Name: StageBanLoop, Run: f.runBanLoopStage},
+			{Name: StageOuter, Run: f.runOuterStage},
+			{Name: StageFinalize, Run: f.runFinalizeStage},
+		},
 	}
-	f.execOriginal = execOrig
-
-	// Reference configuration (unbiased) via the degradation chain: exact
-	// ILP if requested, then the greedy heuristic, then best-effort
-	// repair. This is also the "DFT without PSO" architecture.
-	chainOut, err := solve.AugmentChain(c, solve.ChainConfig{
-		Exact:       opts.UseILP,
-		ExactBudget: opts.ExactBudget,
-		Inject:      opts.Inject,
-	}).Run(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("core: no DFT configuration for %s: %w", c.Name, err)
-	}
-	refAug := chainOut.Value
-	refEval := f.evalAug(refAug)
-	if refEval.cutsErr != nil {
-		return nil, fmt.Errorf("core: cut generation failed on %s: %w", c.Name, refEval.cutsErr)
-	}
-
-	// Configuration diversification ("ban loop"): whenever a configuration
-	// admits no valid sharing at all, penalize its added edges heavily and
-	// re-solve, forcing the next DFT channels somewhere structurally
-	// different. This seeds the outer PSO with genuinely distinct
-	// configurations — the heuristic's weight response is quantized, so
-	// random particle positions alone explore only a handful.
-	banWeights := make([]float64, c.Grid.NumEdges())
-	for round := 0; round < 2*len(refAug.AddedEdges)+8; round++ {
-		aug, err := f.augment(banWeights)
-		if err != nil {
-			break
-		}
-		ev := f.evalAug(aug)
-		if f.bestSharingFitness(ev) < validThreshold {
-			break
-		}
-		for _, e := range ev.aug.AddedEdges {
-			banWeights[e] += 16
-		}
-	}
-
-	// Outer PSO over free-edge bias weights.
-	freeEdges := f.freeEdges()
-	outerCfg := opts.Outer
-	outerCfg.Seed = opts.Seed
-	outer := pso.MinimizeCtx(ctx, len(freeEdges), func(x []float64) float64 {
-		weights := make([]float64, c.Grid.NumEdges())
-		for i, e := range freeEdges {
-			weights[e] = x[i] * 4 // bias scale
-		}
-		aug, err := f.augment(weights)
-		if err != nil {
-			return math.Inf(1)
-		}
-		ev := f.evalAug(aug)
-		return f.bestSharingFitness(ev)
-	}, outerCfg)
-
-	// Decode the best configuration.
-	bestWeights := make([]float64, c.Grid.NumEdges())
-	for i, e := range freeEdges {
-		bestWeights[e] = outer.BestX[i] * 4
-	}
-	bestAug, err := f.augment(bestWeights)
-	if err != nil {
-		bestAug = refAug
-	}
-	_ = f.bestSharingFitness(f.evalAug(bestAug)) // ensure the PSO's pick is searched
-	// Final choice: the best configuration seen anywhere — the PSO's best
-	// position, the ban-loop seeds, or the reference.
-	bestEval := f.bestEvalSeen(refEval)
-	if f.bestSharingFitness(bestEval) >= validThreshold {
-		// No full sharing scheme validates anywhere. Fall back to partial
-		// sharing: DFT valves that cannot share get their own control
-		// lines (still penalized, so every shareable valve shares).
-		f.allowPartial = true
-		keys := make([]string, 0, len(f.augCache))
-		for k, ev := range f.augCache {
-			ev.searched = false
-			ev.bestFit = math.Inf(1)
-			ev.bestPartners = nil
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		const retryConfigs = 8
-		for i, k := range keys {
-			if i >= retryConfigs {
-				break
-			}
-			f.bestSharingFitness(f.augCache[k])
-		}
-		bestEval = f.bestEvalSeen(refEval)
-		if f.bestSharingFitness(bestEval) >= validThreshold {
-			return nil, fmt.Errorf("core: no valid sharing scheme found for %s/%s", c.Name, g.Name)
-		}
-	}
-
-	// Table 1 middle column: the same final architecture with the first
-	// valid sharing scheme found without optimization. Run this before
-	// extracting the final scheme — if a blind draw happens to beat the
-	// swarm's best, the flow keeps it (the framework reports the best
-	// scheme it ever validated).
-	noPSOExec, noPSOPartners, noPSOerr := f.firstValidSharing(bestEval)
-	if noPSOerr != nil {
-		// Valid sharings are too rare for blind draws (the PSO needed its
-		// guided search to find one); report the worst valid scheme the
-		// search encountered as the unoptimized reference.
-		noPSOExec = f.worstValidSharing(bestEval)
-	} else if float64(noPSOExec) < bestEval.bestFit {
-		bestEval.bestFit = float64(noPSOExec)
-		bestEval.bestPartners = noPSOPartners
-	}
-
-	partners := bestEval.bestPartners
-	ctrl, err := chip.SharedControl(bestEval.aug.Chip, partners)
+	stats, err := pipe.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-	// Fitness values may carry partial-sharing penalties; report the real
-	// schedule length.
-	execPSO, okPSO := sched.ExecutionTime(bestEval.aug.Chip, ctrl, g, opts.Sched)
-	if !okPSO {
-		return nil, fmt.Errorf("core: internal error: chosen sharing unschedulable on %s/%s", c.Name, g.Name)
-	}
-
-	execIndep, ok := sched.ExecutionTime(bestEval.aug.Chip, chip.IndependentControl(bestEval.aug.Chip), g, opts.Sched)
-	if !ok {
-		execIndep = -1
-	}
-
-	// Final test set: the base vectors repaired for the chosen sharing
-	// scheme ("test vectors considering valve sharing").
-	finalPaths, finalCuts, full := testgen.RepairVectors(bestEval.aug.Chip, ctrl, bestEval.aug.Source, bestEval.aug.Meter, bestEval.paths, bestEval.cuts)
-	if !full {
-		// Tolerable only for a partial repair-tier configuration whose
-		// intrinsic gap explains the miss; anything else is a bug.
-		und := -1
-		if sim, simErr := fault.NewSimulator(bestEval.aug.Chip, ctrl); simErr == nil {
-			all := append(append([]fault.Vector{}, finalPaths...), finalCuts...)
-			// Finalization always runs to completion, so no ctx here.
-			cov := fault.NewEngine(sim, opts.Workers).EvaluateCoverage(all, fault.AllFaults(bestEval.aug.Chip))
-			und = len(cov.Undetected)
-		}
-		if len(bestEval.aug.Uncovered) == 0 || und < 0 || und > bestEval.baselineUndetected {
-			return nil, fmt.Errorf("core: internal error: chosen sharing lost coverage on %s/%s", c.Name, g.Name)
-		}
-	}
-
-	// The trace records the outer swarm's global best per iteration; the
-	// framework's final choice may come from the ban-loop seeds or the
-	// post-PSO search, so close the trace with the best value actually
-	// achieved (the paper's Fig. 9 plots the framework result).
-	trace := append([]float64(nil), outer.Trace...)
-	if n := len(trace); n > 0 && bestEval.bestFit < trace[n-1] {
-		trace[n-1] = bestEval.bestFit
-	}
-
-	res := &Result{
-		Aug:             bestEval.aug,
-		Control:         ctrl,
-		Partners:        partners,
-		PathVectors:     finalPaths,
-		CutVectors:      finalCuts,
-		ExecOriginal:    execOrig,
-		ExecNoPSO:       noPSOExec,
-		ExecPSO:         execPSO,
-		ExecIndependent: execIndep,
-		Trace:           outer.Trace,
-		NumDFTValves:    bestEval.aug.Chip.NumDFTValves(),
-		NumShared:       ctrl.NumShared(),
-		NumTestVectors:  len(finalPaths) + len(finalCuts),
-		Runtime:         time.Since(start),
-		Solve:           chainOut.Provenance,
-		Interrupted:     ctx.Err() != nil,
-		CoverageFull:    full,
-	}
+	res := f.final.Get()
+	res.Runtime = time.Since(start)
+	stats.Total = res.Runtime
+	res.Stats = stats
 	return res, nil
 }
+
+// --- per-stage instrumentation ---------------------------------------------
+
+// observer returns the flow's observer, never nil.
+func (f *flow) observer() flowstage.Observer { return flowstage.OrNop(f.obs) }
+
+// stageName returns the running stage's name ("" outside a stage).
+func (f *flow) stageName() string {
+	if f.cur == nil {
+		return ""
+	}
+	return f.cur.Name
+}
+
+// enterStage binds the stage's stats sink and snapshots the shared fault
+// metrics so leaveStage can attribute the deltas.
+func (f *flow) enterStage(st *flowstage.StageStats) {
+	f.cur = st
+	f.memoBase = f.metrics.Snapshot()
+}
+
+// leaveStage folds the stage's fault-simulation memo traffic into its
+// stats and emits the per-cache deltas to the observer.
+func (f *flow) leaveStage(st *flowstage.StageStats) {
+	delta := f.metrics.Snapshot().Sub(f.memoBase)
+	st.CacheHits += delta.MemoHits
+	st.CacheMisses += delta.MemoMisses
+	st.Count("fault_memo_hits", delta.MemoHits)
+	st.Count("fault_memo_misses", delta.MemoMisses)
+	st.Count("fault_campaigns", delta.Campaigns)
+	obs := f.observer()
+	if delta.MemoHits != 0 || delta.MemoMisses != 0 {
+		obs.CacheDelta(st.Name, "fault_memo", delta.MemoHits, delta.MemoMisses)
+	}
+	for _, cache := range []string{"aug_cache", "inner_cache"} {
+		if h, m := st.Counter(cache+"_hits"), st.Counter(cache+"_misses"); h != 0 || m != 0 {
+			obs.CacheDelta(st.Name, cache, h, m)
+		}
+	}
+	f.cur = nil
+}
+
+// noteCache attributes one flow-level cache lookup to the running stage.
+func (f *flow) noteCache(cache string, hit bool) {
+	if f.cur == nil {
+		return
+	}
+	if hit {
+		f.cur.CacheHits++
+		f.cur.Count(cache+"_hits", 1)
+	} else {
+		f.cur.CacheMisses++
+		f.cur.Count(cache+"_misses", 1)
+	}
+}
+
+// solverTick is the pso.Config.OnIteration adapter: it counts the
+// iteration on the running stage and forwards the tick to the observer.
+func (f *flow) solverTick(iteration int, best float64) {
+	if f.cur != nil {
+		f.cur.SolverIters++
+	}
+	if f.obs != nil {
+		f.obs.SolverTick(f.stageName(), iteration, best)
+	}
+}
+
+// newSimulator builds a fault simulator wired to the flow's shared
+// metrics, so memo-cache traffic is attributable per stage.
+func (f *flow) newSimulator(c *chip.Chip, ctrl *chip.Control) (*fault.Simulator, error) {
+	sim, err := fault.NewSimulator(c, ctrl)
+	if err == nil && f.metrics != nil {
+		sim.SetMetrics(f.metrics)
+	}
+	return sim, err
+}
+
+// --- shared search machinery (used by the banloop/outer/finalize stages) ----
 
 // augment produces a DFT configuration for the given edge-weight bias
 // with the fast greedy engine (the search loops never pay for the ILP;
@@ -391,8 +367,10 @@ func (f *flow) augment(weights []float64) (*testgen.Augmentation, error) {
 func (f *flow) evalAug(aug *testgen.Augmentation) *augEval {
 	key := augKey(aug)
 	if ev, ok := f.augCache[key]; ok {
+		f.noteCache("aug_cache", true)
 		return ev
 	}
+	f.noteCache("aug_cache", false)
 	ev := &augEval{aug: aug, bestFit: math.Inf(1)}
 	ev.paths = aug.PathVectors()
 	ev.cuts, ev.cutsErr = testgen.GenerateCuts(aug.Chip, aug.Source, aug.Meter)
@@ -403,7 +381,7 @@ func (f *flow) evalAug(aug *testgen.Augmentation) *augEval {
 		ev.cuts, ev.cutsErr = nil, nil
 	}
 	if len(aug.Uncovered) > 0 {
-		if sim, err := fault.NewSimulator(aug.Chip, chip.IndependentControl(aug.Chip)); err == nil {
+		if sim, err := f.newSimulator(aug.Chip, chip.IndependentControl(aug.Chip)); err == nil {
 			vectors := append(append([]fault.Vector{}, ev.paths...), ev.cuts...)
 			cov := fault.NewEngine(sim, f.opts.Workers).EvaluateCoverage(vectors, fault.AllFaults(aug.Chip))
 			ev.baselineUndetected = len(cov.Undetected)
@@ -427,6 +405,7 @@ func (f *flow) bestSharingFitness(ev *augEval) float64 {
 	nDFT := ev.aug.Chip.NumDFTValves()
 	innerCfg := f.opts.Inner
 	innerCfg.Seed = f.opts.Seed ^ int64(len(augKey(ev.aug))) ^ hashString(augKey(ev.aug))
+	innerCfg.OnIteration = f.solverTick
 	res := pso.MinimizeCtx(f.ctx, nDFT, func(x []float64) float64 {
 		partners := f.decodePartners(ev.aug.Chip, x)
 		return f.sharingFitness(ev, partners)
@@ -485,8 +464,10 @@ func (f *flow) decodePartners(c *chip.Chip, x []float64) []int {
 func (f *flow) sharingFitness(ev *augEval, partners []int) float64 {
 	key := evalCacheKey{augKey: augKey(ev.aug), partners: intsKey(partners)}
 	if v, ok := f.innerCache[key]; ok {
+		f.noteCache("inner_cache", true)
 		return v
 	}
+	f.noteCache("inner_cache", false)
 	fit := f.computeSharingFitness(ev, partners)
 	f.innerCache[key] = fit
 	return fit
@@ -517,7 +498,7 @@ func (f *flow) computeSharingFitness(ev *augEval, partners []int) float64 {
 	// considering valve sharing").
 	rPaths, rCuts, full := testgen.RepairVectors(c, ctrl, ev.aug.Source, ev.aug.Meter, ev.paths, ev.cuts)
 	if !full {
-		sim, simErr := fault.NewSimulator(c, ctrl)
+		sim, simErr := f.newSimulator(c, ctrl)
 		if simErr != nil {
 			return math.Inf(1)
 		}
@@ -548,51 +529,6 @@ func (f *flow) computeSharingFitness(ev *augEval, partners []int) float64 {
 		}
 	}
 	return fit
-}
-
-// firstValidSharing emulates "DFT without PSO optimization" (Table 1's
-// middle column): it walks seeded-random partner permutations and returns
-// the first scheme that passes the test-validity and schedulability
-// checks, with NO attempt to minimize execution time — exactly a DFT
-// insertion whose control sharing was picked for test validity alone.
-func (f *flow) firstValidSharing(ev *augEval) (int, []int, error) {
-	c := ev.aug.Chip
-	nOrig := c.NumOriginalValves()
-	nDFT := c.NumDFTValves()
-	rng := rand.New(rand.NewSource(f.opts.Seed*2654435761 + 17))
-	const attempts = 64
-	for try := 0; try < attempts; try++ {
-		perm := rng.Perm(nOrig)
-		partners := perm[:nDFT]
-		fit := f.sharingFitness(ev, partners)
-		if fit < validThreshold {
-			return int(fit), append([]int(nil), partners...), nil
-		}
-	}
-	return 0, nil, fmt.Errorf("no valid sharing scheme in %d random draws (%d DFT valves, %d originals)", attempts, nDFT, nOrig)
-}
-
-// worstValidSharing returns the highest execution time among the FULL
-// sharing schemes evaluated for this configuration during the search —
-// i.e. a valid but unoptimized scheme. When only partial-sharing schemes
-// validated, the best one's penalty is stripped to recover its schedule
-// length.
-func (f *flow) worstValidSharing(ev *augEval) int {
-	key := augKey(ev.aug)
-	worst := -1.0
-	for k, v := range f.innerCache {
-		if k.augKey == key && v < partialBand && v > worst {
-			worst = v
-		}
-	}
-	if worst < 0 {
-		w := ev.bestFit
-		for w >= partialBand && w < validThreshold {
-			w -= partialBand
-		}
-		return int(w)
-	}
-	return int(worst)
 }
 
 // bestEvalSeen returns the configuration with the lowest sharing fitness

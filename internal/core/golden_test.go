@@ -1,0 +1,101 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/pso"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden flow fixtures")
+
+// goldenOpts is the fixed configuration the golden fixtures were captured
+// with. Any change to the flow that alters the result for these seeds is a
+// behavioural change and must be deliberate (regenerate with -update).
+func goldenOpts() Options {
+	return Options{
+		Outer: pso.Config{Particles: 5, Iterations: 40},
+		Inner: pso.Config{Particles: 5, Iterations: 8},
+		Seed:  2018,
+	}
+}
+
+// canonicalResult renders every deterministic field of a Result in a fixed
+// order. Wall-clock fields (Runtime, solver attempt timings) are excluded.
+func canonicalResult(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip: %s\n", res.Aug.Chip.Name)
+	fmt.Fprintf(&b, "added_edges: %v\n", res.Aug.AddedEdges)
+	fmt.Fprintf(&b, "source: %d meter: %d\n", res.Aug.Source, res.Aug.Meter)
+	fmt.Fprintf(&b, "partners: %v\n", res.Partners)
+	fmt.Fprintf(&b, "exec: orig=%d nopso=%d pso=%d indep=%d\n",
+		res.ExecOriginal, res.ExecNoPSO, res.ExecPSO, res.ExecIndependent)
+	fmt.Fprintf(&b, "counts: dft=%d shared=%d vectors=%d\n",
+		res.NumDFTValves, res.NumShared, res.NumTestVectors)
+	fmt.Fprintf(&b, "coverage_full: %v interrupted: %v tier: %s\n",
+		res.CoverageFull, res.Interrupted, res.Solve.Name)
+	writeVectors := func(kind string, vs []fault.Vector) {
+		for i, v := range vs {
+			fmt.Fprintf(&b, "%s[%d]: valves=%v src=%v met=%v\n", kind, i, v.Valves, v.Sources, v.Meters)
+		}
+	}
+	writeVectors("path", res.PathVectors)
+	writeVectors("cut", res.CutVectors)
+	for i, tr := range res.Trace {
+		fmt.Fprintf(&b, "trace[%d]: %.6g\n", i, tr)
+	}
+	return b.String()
+}
+
+// TestGoldenFlowResults pins dft.Run's output bit-for-bit for a fixed seed
+// on the smallest (IVD) and largest (mRNA) bundled designs. The fixtures
+// were captured from the pre-pipeline monolithic flow; the staged pipeline
+// must reproduce them exactly.
+func TestGoldenFlowResults(t *testing.T) {
+	combos := []struct {
+		name  string
+		chip  *chip.Chip
+		assay *assay.Graph
+		long  bool
+	}{
+		{"ivd_ivd", chip.IVD(), assay.IVD(), false},
+		{"mrna_cpa", chip.MRNA(), assay.CPA(), true},
+	}
+	for _, combo := range combos {
+		combo := combo
+		t.Run(combo.name, func(t *testing.T) {
+			if combo.long && testing.Short() {
+				t.Skip("multi-second PSO flow")
+			}
+			res, err := RunDFTFlow(combo.chip, combo.assay, goldenOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := canonicalResult(res)
+			path := filepath.Join("testdata", "golden_"+combo.name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run go test ./internal/core -run Golden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("flow result diverged from the golden fixture %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/flowstage"
+)
+
+// runBanLoopStage diversifies configurations ("ban loop"): whenever a
+// configuration admits no valid sharing at all, its added edges are
+// penalized heavily and the augmentation re-solved, forcing the next DFT
+// channels somewhere structurally different. This seeds the outer PSO
+// with genuinely distinct configurations — the heuristic's weight
+// response is quantized, so random particle positions alone explore only
+// a handful. The stage never fails: it only warms the evaluation caches.
+func (f *flow) runBanLoopStage(ctx context.Context, st *flowstage.StageStats) error {
+	f.enterStage(st)
+	defer f.leaveStage(st)
+
+	refAug := f.chainOut.Get().Value
+	banWeights := make([]float64, f.orig.Grid.NumEdges())
+	for round := 0; round < 2*len(refAug.AddedEdges)+8; round++ {
+		aug, err := f.augment(banWeights)
+		if err != nil {
+			break
+		}
+		st.Count("ban_rounds", 1)
+		ev := f.evalAug(aug)
+		if f.bestSharingFitness(ev) < validThreshold {
+			break
+		}
+		st.Count("banned_configs", 1)
+		for _, e := range ev.aug.AddedEdges {
+			banWeights[e] += 16
+		}
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/flowstage"
+	"repro/internal/sched"
+)
+
+// runScheduleStage checks that the assay is schedulable on the unmodified
+// chip and records its execution time — the baseline every DFT variant is
+// compared against (Table 1's first column). An unschedulable assay fails
+// the whole flow: there is nothing to make testable.
+func (f *flow) runScheduleStage(ctx context.Context, st *flowstage.StageStats) error {
+	f.enterStage(st)
+	defer f.leaveStage(st)
+
+	execOrig, ok := sched.ExecutionTime(f.orig, nil, f.graph, f.opts.Sched)
+	if !ok {
+		return fmt.Errorf("core: assay %s is unschedulable on the original chip %s", f.graph.Name, f.orig.Name)
+	}
+	f.execOriginal = execOrig
+	st.Count("exec_original", int64(execOrig))
+	return nil
+}

@@ -67,6 +67,7 @@ func (e *Engine) EvaluateCoverageCtx(ctx context.Context, vectors []Vector, faul
 	if err := ctx.Err(); err != nil {
 		return Coverage{}, err
 	}
+	e.sim.metrics.noteCampaign(len(faults))
 	// Phase 1: fault-free valve states and meter readings, once per
 	// vector. Hits the simulator's memo cache, so repeated campaigns over
 	// the same vector set skip this entirely.

@@ -128,6 +128,9 @@ type Simulator struct {
 	mu    sync.Mutex
 	cache map[string]*vectorEval
 
+	// metrics, when attached via SetMetrics, counts memo-cache traffic.
+	metrics *Metrics
+
 	scratch sync.Pool // *campaignScratch
 }
 
@@ -260,6 +263,7 @@ func (s *Simulator) evalVector(v Vector) *vectorEval {
 	s.mu.Lock()
 	ev, ok := s.cache[key]
 	s.mu.Unlock()
+	s.metrics.noteMemo(ok)
 	if ok {
 		return ev
 	}

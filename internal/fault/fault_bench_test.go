@@ -6,28 +6,10 @@ import (
 	"repro/internal/chip"
 )
 
-// benchVectors builds an all-open path vector plus one single-valve cut
-// per port-adjacent valve — a representative small campaign.
-func benchVectors(c *chip.Chip) []Vector {
-	var all []int
-	for v := 0; v < c.NumValves(); v++ {
-		all = append(all, v)
-	}
-	vectors := []Vector{{Kind: PathVector, Valves: all, Sources: []int{0}, Meters: []int{1}}}
-	for _, p := range c.Ports {
-		for _, e := range c.Grid.IncidentEdges(p.Node) {
-			if v, ok := c.ValveOnEdge(e); ok {
-				vectors = append(vectors, Vector{Kind: CutVector, Valves: []int{v}, Sources: []int{0}, Meters: []int{1}})
-			}
-		}
-	}
-	return vectors
-}
-
 func BenchmarkFaultCampaignIVD(b *testing.B) {
 	c := chip.IVD()
 	sim := MustSimulator(c, chip.IndependentControl(c))
-	vectors := benchVectors(c)
+	vectors := BenchCampaignVectors(c)
 	faults := AllFaults(c)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -38,7 +20,7 @@ func BenchmarkFaultCampaignIVD(b *testing.B) {
 func BenchmarkFaultCampaignMRNA(b *testing.B) {
 	c := chip.MRNA()
 	sim := MustSimulator(c, chip.IndependentControl(c))
-	vectors := benchVectors(c)
+	vectors := BenchCampaignVectors(c)
 	faults := AllFaults(c)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,7 +31,7 @@ func BenchmarkFaultCampaignMRNA(b *testing.B) {
 func BenchmarkSingleDetect(b *testing.B) {
 	c := chip.MRNA()
 	sim := MustSimulator(c, chip.IndependentControl(c))
-	v := benchVectors(c)[0]
+	v := BenchCampaignVectors(c)[0]
 	f := Fault{Kind: StuckAt0, Valve: 3}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -57,67 +39,20 @@ func BenchmarkSingleDetect(b *testing.B) {
 	}
 }
 
-// --- seed-equivalent recomputation baseline ---------------------------------
-//
-// The seed's Detects re-derived the fault-free valve states and meter
-// readings for every (vector, fault) pair. These helpers preserve that
-// behaviour so benchmarks can compare it against the memoized engine and
-// tests can pin result equivalence.
-
-func (s *Simulator) detectsNoMemo(v Vector, f Fault) bool {
-	base := s.OpenStates(v)
-	good := s.meterReadings(v, base)
-	bad := s.meterReadings(v, withFault(base, f))
-	for i := range good {
-		if good[i] != bad[i] {
-			return true
-		}
-	}
-	return false
-}
-
-func (s *Simulator) faultFreeOKNoMemo(v Vector) bool {
-	return usableReadings(v.Kind, s.meterReadings(v, s.OpenStates(v)))
-}
-
-func (s *Simulator) evaluateCoverageNoMemo(vectors []Vector, faults []Fault) Coverage {
-	cov := Coverage{Total: len(faults)}
-	usable := make([]Vector, 0, len(vectors))
-	for _, v := range vectors {
-		if s.faultFreeOKNoMemo(v) {
-			usable = append(usable, v)
-		}
-	}
-	for _, f := range faults {
-		detected := false
-		for _, v := range usable {
-			if s.detectsNoMemo(v, f) {
-				detected = true
-				break
-			}
-		}
-		if detected {
-			cov.Detected++
-		} else {
-			cov.Undetected = append(cov.Undetected, f)
-		}
-	}
-	return cov
-}
-
 // BenchmarkEvaluateCoverage compares one cold campaign on the largest
 // bundled design (mRNA) across the three paths: the seed's serial
-// recomputation, the memoized single-worker engine, and the full parallel
-// worker pool. A fresh simulator per iteration keeps every campaign cold.
+// recomputation (EvaluateCoverageBaseline), the memoized single-worker
+// engine, and the full parallel worker pool. A fresh simulator per
+// iteration keeps every campaign cold.
 func BenchmarkEvaluateCoverage(b *testing.B) {
 	c := chip.MRNA()
-	vectors := benchVectors(c)
+	vectors := BenchCampaignVectors(c)
 	faults := AllFaults(c)
 	b.Run("serial", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sim := MustSimulator(c, chip.IndependentControl(c))
-			sim.evaluateCoverageNoMemo(vectors, faults)
+			EvaluateCoverageBaseline(sim, vectors, faults)
 		}
 	})
 	b.Run("memoized", func(b *testing.B) {

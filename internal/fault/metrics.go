@@ -1,0 +1,77 @@
+package fault
+
+import "sync/atomic"
+
+// Metrics aggregates fault-simulation counters across every Simulator and
+// Engine it is attached to. One Metrics instance is typically shared by
+// all simulators of a flow run, so the flow can report its memo-cache hit
+// rate per stage. All counters are atomic; a nil *Metrics is a valid
+// no-op receiver for the increment methods used on hot paths.
+type Metrics struct {
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
+	campaigns  atomic.Int64
+	faultScans atomic.Int64
+}
+
+// NewMetrics returns a zeroed Metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+func (m *Metrics) noteMemo(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.memoHits.Add(1)
+	} else {
+		m.memoMisses.Add(1)
+	}
+}
+
+func (m *Metrics) noteCampaign(faults int) {
+	if m == nil {
+		return
+	}
+	m.campaigns.Add(1)
+	m.faultScans.Add(int64(faults))
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters; subtract two
+// snapshots to attribute traffic to a phase.
+type MetricsSnapshot struct {
+	// MemoHits and MemoMisses count vector-memo cache lookups across all
+	// attached simulators.
+	MemoHits, MemoMisses int64
+	// Campaigns counts EvaluateCoverage campaigns; FaultScans the faults
+	// those campaigns examined.
+	Campaigns, FaultScans int64
+}
+
+// Snapshot returns the current counter values. Snapshot on a nil Metrics
+// returns zeros.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		MemoHits:   m.memoHits.Load(),
+		MemoMisses: m.memoMisses.Load(),
+		Campaigns:  m.campaigns.Load(),
+		FaultScans: m.faultScans.Load(),
+	}
+}
+
+// Sub returns the counter deltas since base.
+func (s MetricsSnapshot) Sub(base MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		MemoHits:   s.MemoHits - base.MemoHits,
+		MemoMisses: s.MemoMisses - base.MemoMisses,
+		Campaigns:  s.Campaigns - base.Campaigns,
+		FaultScans: s.FaultScans - base.FaultScans,
+	}
+}
+
+// SetMetrics attaches a shared metrics aggregator to the simulator; every
+// subsequent memo-cache lookup is counted on it. Attach before the
+// simulator is used concurrently (the pointer itself is unsynchronized).
+func (s *Simulator) SetMetrics(m *Metrics) { s.metrics = m }

@@ -34,6 +34,13 @@ type Config struct {
 	VMax float64
 	// Seed makes runs reproducible.
 	Seed int64
+	// OnIteration, when non-nil, is called with the global-best fitness
+	// after initialization (iteration 0) and after every velocity/position
+	// update — the instrumentation hook the DFT flow's observer rides on.
+	// The callback must not mutate swarm state; it never affects the
+	// search (the RNG stream and iteration order are identical with or
+	// without it).
+	OnIteration func(iteration int, best float64)
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +101,9 @@ func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64
 	if dim <= 0 {
 		// Degenerate: a single empty position.
 		f := fitness(nil)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(0, f)
+		}
 		return Result{BestX: nil, BestFitness: f, Trace: fill(cfg.Iterations+1, f), Evaluations: 1}
 	}
 
@@ -135,6 +145,9 @@ func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64
 	}
 	trace := make([]float64, 0, cfg.Iterations+1)
 	trace = append(trace, gbestF)
+	if cfg.OnIteration != nil {
+		cfg.OnIteration(0, gbestF)
+	}
 
 	for it := 0; it < cfg.Iterations && !interrupted; it++ {
 		for i := range swarm {
@@ -176,6 +189,9 @@ func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64
 			}
 		}
 		trace = append(trace, gbestF)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(it+1, gbestF)
+		}
 	}
 	return Result{BestX: gbestX, BestFitness: gbestF, Trace: trace, Evaluations: evals, Interrupted: interrupted}
 }

@@ -23,6 +23,9 @@ type Document struct {
 	Execution   Execution    `json:"execution_times_s"`
 	RuntimeMS   int64        `json:"flow_runtime_ms"`
 	Solver      SolverInfo   `json:"solver"`
+	// Stats, when present, is the flow's per-stage runtime breakdown
+	// (populated by the CLIs' -stats flag; see BuildStats).
+	Stats *StatsDocument `json:"stage_stats,omitempty"`
 }
 
 // SolverInfo records the degradation provenance of the flow: which tier

@@ -22,6 +22,8 @@ type ChainConfig struct {
 	Options testgen.Options
 	// Inject lists deterministic faults for the chain's Runner.
 	Inject []Injection
+	// OnAttempt is forwarded to the Runner's per-tier attempt hook.
+	OnAttempt func(Attempt)
 }
 
 // Default per-tier budgets for AugmentChain.
@@ -47,6 +49,7 @@ func AugmentChain(c *chip.Chip, cfg ChainConfig) *Runner[*testgen.Augmentation] 
 	r := &Runner[*testgen.Augmentation]{
 		Inject:        cfg.Inject,
 		InfeasibleErr: testgen.ErrInfeasible,
+		OnAttempt:     cfg.OnAttempt,
 	}
 	tier := 0
 	if cfg.Exact {

@@ -187,6 +187,11 @@ type Runner[T any] struct {
 	// tier errors matching it (errors.Is) classify as ReasonInfeasible,
 	// and FaultInfeasible injections wrap it.
 	InfeasibleErr error
+	// OnAttempt, when non-nil, is called after every tier attempt (in
+	// chain order, including the final cancellation pseudo-attempt) — the
+	// observability hook for chain tier transitions. The attempt's value
+	// is not exposed; the callback must not block.
+	OnAttempt func(Attempt)
 }
 
 // injectionFor returns the injection targeting the named tier, if any.
@@ -254,14 +259,21 @@ func (r *Runner[T]) Run(ctx context.Context) (Outcome[T], error) {
 	}
 	for i, tier := range r.Tiers {
 		if err := ctx.Err(); err != nil {
-			out.Attempts = append(out.Attempts, Attempt{
+			att := Attempt{
 				Tier: tier.Tier, Name: tier.Name, Budget: tier.Budget,
 				Reason: ReasonCancelled, Err: err, Error: err.Error(),
-			})
+			}
+			out.Attempts = append(out.Attempts, att)
+			if r.OnAttempt != nil {
+				r.OnAttempt(att)
+			}
 			break
 		}
 		att := r.runTier(ctx, tier)
 		out.Attempts = append(out.Attempts, att)
+		if r.OnAttempt != nil {
+			r.OnAttempt(att)
+		}
 		if att.Err == nil {
 			out.Tier = tier.Tier
 			out.Name = tier.Name

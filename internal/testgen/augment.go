@@ -87,6 +87,11 @@ type Options struct {
 	// ILPMaxNodes caps branch-and-bound nodes per |P| iteration (0 =
 	// default).
 	ILPMaxNodes int
+	// OnILPAttempt, when non-nil, is called after every ILP |P|-iteration
+	// with the branch-and-bound node and lazy-cut counts of that solve —
+	// the observability hook for the exact engine. It never affects the
+	// solve.
+	OnILPAttempt func(paths, nodes, lazyCuts int)
 }
 
 // DefaultMaxPaths caps the |P| iteration when Options.MaxPaths is 0.

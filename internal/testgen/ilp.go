@@ -181,6 +181,9 @@ func solvePathILP(ctx context.Context, c *chip.Chip, srcPort, dstPort, srcNode, 
 	if err != nil {
 		return nil, err
 	}
+	if opts.OnILPAttempt != nil {
+		opts.OnILPAttempt(nPaths, res.Nodes, res.LazyCuts)
+	}
 	switch res.Status {
 	case ilp.Infeasible:
 		return nil, fmt.Errorf("%w: |P|=%d", ErrInfeasible, nPaths)
