@@ -2,6 +2,10 @@
 // largest bundled design (mRNA) and writes the results as JSON:
 //
 //	bench [-out BENCH_fault.json]
+//	bench -ilp [-out BENCH_ilp.json]
+//
+// With -ilp it instead benchmarks the branch-and-bound ILP engine on the
+// paper's test-path and test-cut models of both example chips (see ilp.go).
 //
 // Three variants run over the same cold campaign (fresh simulator per
 // iteration): the seed's serial recomputation baseline, the memoized
@@ -54,7 +58,11 @@ func main() {
 
 func run() int {
 	outFile := flag.String("out", "", "write the JSON report to FILE (default: stdout)")
+	ilpMode := flag.Bool("ilp", false, "benchmark the branch-and-bound ILP engine (seed serial vs parallel at 1/2/4/8 workers) instead of the fault campaign")
 	flag.Parse()
+	if *ilpMode {
+		return runILP(*outFile)
+	}
 
 	c := chip.MRNA()
 	vectors := fault.BenchCampaignVectors(c)

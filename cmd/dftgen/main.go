@@ -52,7 +52,7 @@ func run() int {
 		stats     = flag.Bool("stats", false, "report the per-stage runtime breakdown of the flow pipeline")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the best result so far is emitted")
 		injectStr = flag.String("inject", "", "force faults in the augmentation chain, e.g. exact:timeout,heuristic:panic (degradation drills)")
-		workers   = flag.Int("workers", 0, "fault-simulation worker-pool size (0 = all CPU cores)")
+		workers   = flag.Int("workers", 0, "fault-simulation and ILP worker-pool size (0 = all CPU cores)")
 	)
 	flag.Parse()
 

@@ -41,7 +41,7 @@ func run() int {
 		baseline = flag.Bool("baseline", false, "also run the multi-instrument baseline on the original chip")
 		optimal  = flag.Bool("optimal", false, "use the exact minimum cut-set cover (ILP) instead of the greedy one")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
-		workers  = flag.Int("workers", 0, "fault-simulation worker-pool size (0 = all CPU cores)")
+		workers  = flag.Int("workers", 0, "fault-simulation and ILP worker-pool size (0 = all CPU cores)")
 		stats    = flag.Bool("stats", false, "report the per-stage breakdown of the campaign (incl. memo-cache hit rate)")
 	)
 	flag.Parse()
@@ -85,7 +85,7 @@ func run() int {
 		{Name: "cuts", Run: func(ctx context.Context, st *flowstage.StageStats) error {
 			var err error
 			if *optimal {
-				cuts, err = dft.GenerateCutsOptimalCtx(ctx, aug.Chip, aug.Source, aug.Meter, dft.AugmentOptions{})
+				cuts, err = dft.GenerateCutsOptimalCtx(ctx, aug.Chip, aug.Source, aug.Meter, dft.AugmentOptions{Workers: *workers})
 			} else {
 				cuts, err = dft.GenerateCutsCtx(ctx, aug.Chip, aug.Source, aug.Meter)
 			}

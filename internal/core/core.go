@@ -80,9 +80,11 @@ type Options struct {
 	// ExactBudget caps the exact-ILP augmentation tier's wall-clock time
 	// (0 = solve.DefaultExactBudget). Only meaningful with UseILP.
 	ExactBudget time.Duration
-	// Workers sets the fault-simulation worker-pool size used by every
-	// coverage check in the flow (0 = runtime.GOMAXPROCS). Coverage
-	// results are bit-identical for any worker count.
+	// Workers sets the worker-pool size shared by every coverage check in
+	// the flow and by the branch-and-bound search of the exact-ILP tiers
+	// (0 = runtime.GOMAXPROCS). Coverage results are bit-identical for any
+	// worker count, and so are exhausted ILP solves (see package ilp for
+	// the exact guarantee).
 	Workers int
 	// Observer receives live pipeline events: stage boundaries, solver
 	// iteration ticks, chain tier transitions, cache-hit deltas. nil

@@ -24,11 +24,22 @@ func (f *flow) runReferenceStage(ctx context.Context, st *flowstage.StageStats) 
 		ExactBudget: f.opts.ExactBudget,
 		Inject:      f.opts.Inject,
 		Options: testgen.Options{
+			Workers: f.opts.Workers,
 			OnILPAttempt: func(paths, nodes, lazyCuts int) {
 				st.Count("ilp_attempts", 1)
 				st.Count("ilp_nodes", int64(nodes))
 				st.Count("ilp_lazy_cuts", int64(lazyCuts))
 				obs.ILPAttempt(st.Name, paths, nodes, lazyCuts)
+			},
+			OnILPStats: func(workers, steals, idleWaits, requeued int) {
+				// The resolved worker count is a configuration fact, not an
+				// accumulating quantity: record it once per stage.
+				if st.Counter("ilp_workers") == 0 {
+					st.Count("ilp_workers", int64(workers))
+				}
+				st.Count("ilp_steals", int64(steals))
+				st.Count("ilp_idle_waits", int64(idleWaits))
+				st.Count("ilp_requeued", int64(requeued))
 			},
 		},
 		OnAttempt: func(att solve.Attempt) {

@@ -7,22 +7,39 @@
 // therefore supports lazy constraints: whenever an integer-feasible point is
 // found, a callback may reject it by returning additional constraints,
 // which are added to the model before the search continues.
+//
+// The search (search.go) is a deterministic parallel branch and bound: a
+// worker pool explores subtrees from a shared LIFO frontier under an
+// atomically shared incumbent bound. Determinism is part of the contract:
+// on a fixed model (no lazy cuts) an exhausted search returns bit-identical
+// (Status, X, Obj) for every worker count, because nodes are pruned only
+// when their relaxation is strictly worse than the bound and equal-objective
+// incumbents are resolved to the lexicographically smallest rounded
+// solution (see DESIGN.md §11 for the argument). Node counts and parallel
+// statistics do vary with scheduling, as do budget-truncated (Feasible/
+// Aborted) results. The seed serial solver is preserved in baseline.go for
+// benchmarks and cross-checks.
 package ilp
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/lp"
 )
 
 // Model wraps an lp.Problem whose variables are all binary (bounds must be
-// within [0,1]); Solve enforces integrality on every variable.
+// within [0,1]); Solve enforces integrality on every variable. A Model must
+// not be copied after first use (it embeds the lock that serializes lazy
+// constraint insertion against concurrent LP relaxations).
 type Model struct {
 	P *lp.Problem
+
+	// mu guards P during a parallel solve: relaxations take the read
+	// side, lazy-cut insertion the write side.
+	mu sync.RWMutex
 }
 
 // NewModel returns a model over the given problem. All variables are
@@ -35,20 +52,51 @@ type Options struct {
 	MaxNodes int
 	// TimeLimit caps wall-clock time (0 = no limit).
 	TimeLimit time.Duration
+	// Workers sets the number of concurrent search workers. 0 or 1 runs
+	// the search serially on the calling goroutine (no goroutines are
+	// spawned). On a fixed model the result is worker-count independent;
+	// see the package comment for the exact guarantee.
+	Workers int
 	// Lazy, if non-nil, is invoked on every integer-feasible candidate. It
 	// returns constraints violated by the candidate; returning none accepts
-	// the candidate as feasible. Added constraints apply globally.
+	// the candidate as feasible. Added constraints apply globally. During a
+	// parallel solve the callback runs under the model's write lock (so it
+	// never races with relaxations) and must not call back into the model.
 	Lazy func(x []float64) []lp.Constraint
 	// IncumbentObj primes the search with a known objective bound
-	// (for minimization: an upper bound). Use math.Inf(1) or leave the
-	// zero Options value for "none".
+	// (for minimization: an upper bound). The bound is honoured when
+	// IncumbentX is non-nil, when HasIncumbent is set, or — for
+	// compatibility — when IncumbentObj is non-zero and finite. Use
+	// HasIncumbent to prime a bound of exactly 0 without a solution
+	// vector; internally the search starts from a math.Inf(1) sentinel,
+	// so the zero Options value still means "none".
 	IncumbentObj float64
 	// IncumbentX optionally carries the solution achieving IncumbentObj.
 	IncumbentX []float64
+	// HasIncumbent marks IncumbentObj as meaningful even when it is zero
+	// and IncumbentX is nil (the zero-value ambiguity fix).
+	HasIncumbent bool
 }
 
 // DefaultMaxNodes bounds the search when Options.MaxNodes is zero.
 const DefaultMaxNodes = 20000
+
+// SolveStats describes how one branch-and-bound run used its workers.
+type SolveStats struct {
+	// Workers is the resolved worker count of the solve.
+	Workers int
+	// NodesPerWorker counts the nodes each worker processed; the entries
+	// sum to Result.Nodes.
+	NodesPerWorker []int
+	// Steals counts frontier pops that took a node pushed by a different
+	// worker — cross-worker load balancing events.
+	Steals int
+	// IdleWaits counts the times a worker blocked on an empty frontier
+	// while siblings were still expanding nodes.
+	IdleWaits int
+	// Requeued counts nodes pushed back after a lazy-cut rejection.
+	Requeued int
+}
 
 // Result is the outcome of an ILP solve.
 type Result struct {
@@ -57,6 +105,9 @@ type Result struct {
 	Obj      float64
 	Nodes    int // branch-and-bound nodes explored
 	LazyCuts int // lazy constraints added during the search
+	// Stats carries the parallel-search statistics of the solve (Workers
+	// is 1 and Steals/IdleWaits are 0 for a serial run).
+	Stats SolveStats
 }
 
 // Status classifies an ILP result.
@@ -87,154 +138,19 @@ func (s Status) String() string {
 
 const intTol = 1e-6
 
-// Solve runs depth-first branch and bound and returns the best integral
-// solution found.
+// Solve runs branch and bound and returns the best integral solution
+// found.
 func (m *Model) Solve(opts Options) (Result, error) {
 	return m.SolveCtx(context.Background(), opts)
 }
 
-// SolveCtx is Solve with cooperative cancellation. The context is checked
-// at every branch-and-bound node (and inside each LP relaxation); when it
-// expires the search stops within one node and returns the incumbent with
-// Status Feasible, or Aborted when no incumbent exists yet. Cancellation is
-// treated exactly like an expired node/time budget — the error is nil and
-// the Result reports how far the search got.
-func (m *Model) SolveCtx(ctx context.Context, opts Options) (Result, error) {
-	n := m.P.NumVars()
-	for i := 0; i < n; i++ {
-		lb, ub := m.P.Bounds(i)
-		if lb < -intTol || ub > 1+intTol {
-			return Result{}, fmt.Errorf("ilp: variable %d has non-binary bounds [%g,%g]", i, lb, ub)
-		}
-	}
-	maxNodes := opts.MaxNodes
-	if maxNodes <= 0 {
-		maxNodes = DefaultMaxNodes
-	}
-	deadline := time.Time{}
-	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
-	}
-
-	sign := 1.0
-	if m.P.Sense() == lp.Maximize {
-		sign = -1 // compare in minimize space
-	}
-	bestObj := math.Inf(1)
-	var bestX []float64
-	if opts.IncumbentX != nil {
-		bestObj = sign * opts.IncumbentObj
-		bestX = append([]float64(nil), opts.IncumbentX...)
-	} else if opts.IncumbentObj != 0 && !math.IsInf(opts.IncumbentObj, 0) {
-		bestObj = sign * opts.IncumbentObj
-	}
-
-	type node struct {
-		fixedVar []int
-		fixedVal []float64
-	}
-	stack := []node{{}}
-	res := Result{}
-
-	baseOv := m.P.DefaultOverrides()
-	aborted := false
-	for len(stack) > 0 {
-		if res.Nodes >= maxNodes {
-			aborted = true
-			break
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			aborted = true
-			break
-		}
-		if ctx.Err() != nil {
-			aborted = true
-			break
-		}
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		res.Nodes++
-
-		ov := make([][2]float64, n)
-		copy(ov, baseOv)
-		for i, v := range nd.fixedVar {
-			ov[v] = [2]float64{nd.fixedVal[i], nd.fixedVal[i]}
-		}
-		sol, err := m.P.SolveCtx(ctx, ov)
-		if err != nil {
-			if sol.Status == lp.Canceled {
-				// Context expired mid-relaxation: stop the search and keep
-				// the incumbent, like any other expired budget.
-				aborted = true
-				break
-			}
-			return res, err
-		}
-		switch sol.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			return res, errors.New("ilp: LP relaxation unbounded (binary model should be bounded)")
-		case lp.IterLimit:
-			continue // treat as prune; rare
-		}
-		relax := sign * sol.Obj
-		if relax >= bestObj-1e-9 {
-			continue // bound prune
-		}
-		frac := mostFractional(sol.X)
-		if frac < 0 {
-			// Integer feasible. Round to exact binaries.
-			x := roundBinary(sol.X)
-			if opts.Lazy != nil {
-				cuts := opts.Lazy(x)
-				if len(cuts) > 0 {
-					for _, c := range cuts {
-						m.P.AddConstraint(c)
-					}
-					res.LazyCuts += len(cuts)
-					// Re-explore this node under the new constraints.
-					stack = append(stack, nd)
-					continue
-				}
-			}
-			bestObj = relax
-			bestX = x
-			continue
-		}
-		// Branch: explore the rounding-nearest child last so DFS visits it
-		// first (stack order).
-		v := frac
-		if sol.X[v] >= 0.5 {
-			stack = append(stack, node{append(append([]int(nil), nd.fixedVar...), v), append(append([]float64(nil), nd.fixedVal...), 0)})
-			stack = append(stack, node{append(append([]int(nil), nd.fixedVar...), v), append(append([]float64(nil), nd.fixedVal...), 1)})
-		} else {
-			stack = append(stack, node{append(append([]int(nil), nd.fixedVar...), v), append(append([]float64(nil), nd.fixedVal...), 1)})
-			stack = append(stack, node{append(append([]int(nil), nd.fixedVar...), v), append(append([]float64(nil), nd.fixedVal...), 0)})
-		}
-	}
-
-	exhausted := len(stack) == 0 && !aborted
-	if bestX == nil {
-		if exhausted {
-			res.Status = Infeasible
-		} else {
-			res.Status = Aborted
-		}
-		return res, nil
-	}
-	res.X = bestX
-	res.Obj = sign * bestObj
-	if exhausted {
-		res.Status = Optimal
-	} else {
-		res.Status = Feasible
-	}
-	return res, nil
-}
-
-// mostFractional returns the index of the variable farthest from an
-// integer, or -1 if all are integral within tolerance.
+// mostFractional is the branching rule: it returns the index of the
+// variable farthest from an integer — "most fractional", with ties broken
+// by the lowest variable index (the strict > comparison keeps the first
+// maximum) — or -1 if all values are integral within tolerance. The rule
+// is deterministic in x, which together with the deterministic LP solver
+// makes the branch-and-bound tree of a fixed model a function of the model
+// alone (the serial-search determinism property pinned by tests).
 func mostFractional(x []float64) int {
 	best := -1
 	bestDist := intTol

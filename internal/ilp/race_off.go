@@ -1,0 +1,5 @@
+//go:build !race
+
+package ilp
+
+const raceEnabled = false

@@ -1,0 +1,596 @@
+package lp
+
+// bounded.go is the production simplex: a dense two-phase primal simplex
+// with implicit (bounded-variable) upper bounds and a flat, reusable
+// Tableau scratch.
+//
+// The baseline engine (baseline.go) materializes one `y_i <= ub-lb` row
+// per finite upper bound, so on the all-binary DFT models every variable
+// adds a row and pivots cost O((m+n)·nTot). Here finite bounds are
+// handled by the standard nonbasic-at-lower/nonbasic-at-upper technique
+// with a bound-flip ratio test, which keeps only the true constraint
+// rows — roughly half the rows (and a third of the pivot work) on the
+// paper's path and cut ILPs. The scratch is re-populated in place on
+// every solve, so a warm Tableau performs no allocations; package ilp
+// keeps one per branch-and-bound worker.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tableau is reusable scratch storage for SolveTab. The zero value is
+// ready to use (NewTableau is provided for clarity); a Tableau grows to
+// the largest problem it has seen and is then allocation-free. It is not
+// safe for concurrent use — callers that solve in parallel keep one
+// Tableau per worker.
+type Tableau struct {
+	m        int // constraint rows
+	nOrig    int // original variable count
+	nTot     int // total columns (orig + slack/surplus + artificial)
+	artStart int // first artificial column
+
+	a       []float64 // m×nTot tableau matrix, row-major
+	b       []float64 // current value of each row's basic variable
+	u       []float64 // working upper bound per column (shifted space)
+	z       []float64 // reduced costs
+	cobj    []float64 // current phase objective
+	basis   []int     // basic column per row
+	basic   []bool    // column-is-basic flags
+	atUpper []bool    // nonbasic-at-upper flags
+	lb, ub  []float64 // working bounds of the original variables
+	x       []float64 // decoded solution (aliased by Solution.X)
+	flip    []bool    // row-negated flags from RHS normalization
+	rel     []Rel     // normalized row relations
+	rhs     []float64 // normalized row RHS
+
+	ctx context.Context
+}
+
+// NewTableau returns an empty scratch tableau for SolveTab.
+func NewTableau() *Tableau { return &Tableau{} }
+
+// SolveTab is SolveCtx solving into the given scratch tableau instead of
+// allocating a fresh one. The returned Solution's X slice aliases the
+// scratch and is valid only until the next SolveTab call on the same
+// Tableau; callers that keep a solution copy it first. Passing a nil
+// tableau allocates one.
+func (p *Problem) SolveTab(ctx context.Context, overrides [][2]float64, t *Tableau) (Solution, error) {
+	if t == nil {
+		t = NewTableau()
+	}
+	n := len(p.obj)
+	if overrides != nil && len(overrides) != n {
+		return Solution{}, errors.New("lp: overrides length mismatch")
+	}
+	t.lb = growFloats(t.lb, n)
+	t.ub = growFloats(t.ub, n)
+	copy(t.lb, p.lb)
+	copy(t.ub, p.ub)
+	if overrides != nil {
+		// Overrides replace bounds wholesale: callers start from
+		// DefaultOverrides() and tighten selected variables, so a [0,0]
+		// entry means "fix to zero", not "unset".
+		for i, b := range overrides {
+			t.lb[i] = b[0]
+			t.ub[i] = b[1]
+			if t.lb[i] > t.ub[i]+eps {
+				return Solution{Status: Infeasible}, nil
+			}
+			if t.lb[i] > t.ub[i] {
+				t.lb[i] = t.ub[i]
+			}
+		}
+	}
+	for _, c := range p.cons {
+		for _, term := range c.Terms {
+			if term.Var < 0 || term.Var >= n {
+				return Solution{}, fmt.Errorf("lp: constraint references variable %d of %d", term.Var, n)
+			}
+		}
+	}
+	t.ctx = ctx
+	sol := t.run(p)
+	if sol.Status == Canceled {
+		return sol, ctx.Err()
+	}
+	return sol, nil
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growRels(s []Rel, n int) []Rel {
+	if cap(s) < n {
+		return make([]Rel, n)
+	}
+	return s[:n]
+}
+
+// load rebuilds the tableau in place for problem p under the working
+// bounds t.lb/t.ub. Variables are shifted by their lower bound (y = x-lb)
+// so every column lives in [0, u]; rows are normalized to nonnegative RHS
+// with relation flips; slack/surplus columns are added per row and
+// artificial columns for >=/= rows.
+func (t *Tableau) load(p *Problem) {
+	n := len(p.obj)
+	m := len(p.cons)
+	t.nOrig = n
+	t.m = m
+	t.rhs = growFloats(t.rhs, m)
+	t.rel = growRels(t.rel, m)
+	t.flip = growBools(t.flip, m)
+	nSlack, nArt := 0, 0
+	for i := range p.cons {
+		c := &p.cons[i]
+		rhs := c.RHS
+		for _, term := range c.Terms {
+			rhs -= term.Coef * t.lb[term.Var]
+		}
+		rel := c.Rel
+		flip := rhs < 0
+		if flip {
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		t.rhs[i] = rhs
+		t.rel[i] = rel
+		t.flip[i] = flip
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t.artStart = n + nSlack
+	t.nTot = t.artStart + nArt
+
+	t.a = growFloats(t.a, m*t.nTot)
+	for i := range t.a {
+		t.a[i] = 0
+	}
+	t.b = growFloats(t.b, m)
+	t.u = growFloats(t.u, t.nTot)
+	t.basis = growInts(t.basis, m)
+	t.basic = growBools(t.basic, t.nTot)
+	t.atUpper = growBools(t.atUpper, t.nTot)
+	for j := 0; j < n; j++ {
+		t.u[j] = t.ub[j] - t.lb[j] // may be +Inf
+	}
+	for j := n; j < t.nTot; j++ {
+		t.u[j] = math.Inf(1)
+	}
+	for j := 0; j < t.nTot; j++ {
+		t.basic[j] = false
+		t.atUpper[j] = false
+	}
+
+	slackCol := n
+	artCol := t.artStart
+	for i := range p.cons {
+		c := &p.cons[i]
+		row := t.a[i*t.nTot : (i+1)*t.nTot]
+		sign := 1.0
+		if t.flip[i] {
+			sign = -1
+		}
+		for _, term := range c.Terms {
+			row[term.Var] += sign * term.Coef
+		}
+		t.b[i] = t.rhs[i]
+		switch t.rel[i] {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.basic[t.basis[i]] = true
+	}
+}
+
+// run executes phase 1 (when artificials exist) then phase 2 and decodes
+// the solution.
+func (t *Tableau) run(p *Problem) Solution {
+	t.load(p)
+	if t.nTot > t.artStart {
+		t.cobj = growFloats(t.cobj, t.nTot)
+		for j := 0; j < t.artStart; j++ {
+			t.cobj[j] = 0
+		}
+		for j := t.artStart; j < t.nTot; j++ {
+			t.cobj[j] = 1
+		}
+		obj, status := t.optimize(t.nTot)
+		if status == IterLimit || status == Canceled {
+			return Solution{Status: status}
+		}
+		if obj > 1e-6 {
+			return Solution{Status: Infeasible}
+		}
+		t.driveOutArtificials()
+	}
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1
+	}
+	t.cobj = growFloats(t.cobj, t.nTot)
+	for j := 0; j < t.nTot; j++ {
+		t.cobj[j] = 0
+	}
+	for j := 0; j < t.nOrig; j++ {
+		t.cobj[j] = sign * p.obj[j]
+	}
+	_, status := t.optimize(t.artStart) // artificials may not re-enter
+	switch status {
+	case Unbounded:
+		return Solution{Status: Unbounded}
+	case IterLimit:
+		return Solution{Status: IterLimit}
+	case Canceled:
+		return Solution{Status: Canceled}
+	}
+	// Decode: nonbasic columns sit at a bound, basic ones carry b.
+	t.x = growFloats(t.x, t.nOrig)
+	for j := 0; j < t.nOrig; j++ {
+		v := 0.0
+		if !t.basic[j] && t.atUpper[j] {
+			v = t.u[j]
+		}
+		t.x[j] = v
+	}
+	for i, bi := range t.basis {
+		if bi < t.nOrig {
+			t.x[bi] = t.b[i]
+		}
+	}
+	val := 0.0
+	for j := 0; j < t.nOrig; j++ {
+		t.x[j] += t.lb[j]
+		val += p.obj[j] * t.x[j]
+	}
+	return Solution{Status: Optimal, X: t.x, Obj: val}
+}
+
+// objValue evaluates the current phase objective: basic columns carry b,
+// nonbasic-at-upper columns carry their bound.
+func (t *Tableau) objValue() float64 {
+	obj := 0.0
+	for i, bi := range t.basis {
+		obj += t.cobj[bi] * t.b[i]
+	}
+	for j := 0; j < t.nTot; j++ {
+		if !t.basic[j] && t.atUpper[j] && t.cobj[j] != 0 {
+			obj += t.cobj[j] * t.u[j]
+		}
+	}
+	return obj
+}
+
+// optimize minimizes t.cobj over the current tableau, with entering
+// columns restricted to [0, limit). The reduced-cost row z is maintained
+// incrementally across pivots (priced out once at entry); basic-variable
+// values in b are updated directly by each step, so pivots touch only the
+// matrix. Bound-flip iterations (an entering column crossing from one
+// finite bound to the other without a basis change) are what make
+// implicit upper bounds work.
+func (t *Tableau) optimize(limit int) (float64, Status) {
+	n := t.nTot
+	t.z = growFloats(t.z, n)
+	copy(t.z, t.cobj[:n])
+	for i, bi := range t.basis {
+		cb := t.cobj[bi]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i*n : (i+1)*n]
+		for j, aj := range row {
+			if aj != 0 {
+				t.z[j] -= cb * aj
+			}
+		}
+	}
+	for iter := 0; iter < iterCap; iter++ {
+		if iter&ctxCheckMask == 0 && t.ctx != nil && t.ctx.Err() != nil {
+			return 0, Canceled
+		}
+		useBland := iter > blandTrip
+		// Entering column: most attractive reduced cost (Dantzig), lowest
+		// index on ties; Bland's rule (first improving index) after
+		// blandTrip iterations to break degenerate cycles. A column at its
+		// lower bound improves when z < 0, one at its upper bound when
+		// z > 0; fixed columns (u <= 0) can never move.
+		enter := -1
+		best := eps
+		for j := 0; j < limit; j++ {
+			if t.basic[j] || t.u[j] <= 0 {
+				continue
+			}
+			score := -t.z[j]
+			if t.atUpper[j] {
+				score = t.z[j]
+			}
+			if score <= eps {
+				continue
+			}
+			if useBland {
+				enter = j
+				break
+			}
+			if score > best {
+				best = score
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return t.objValue(), Optimal
+		}
+		d := 1.0 // direction of travel for the entering variable
+		if t.atUpper[enter] {
+			d = -1
+		}
+		// Ratio test: the entering variable moves by step tt, changing row
+		// i's basic value at rate -d·a[i][enter]. It is blocked by the
+		// first basic variable to hit one of its bounds, or by its own
+		// opposite bound (a bound flip).
+		rowT := 0.0
+		leave := -1
+		leaveAtUpper := false
+		for i := 0; i < t.m; i++ {
+			ae := t.a[i*n+enter]
+			if ae < pivotEps && ae > -pivotEps {
+				continue
+			}
+			rate := -d * ae
+			var r float64
+			var toUpper bool
+			if rate < 0 { // basic value decreases toward 0
+				r = t.b[i] / -rate
+			} else { // basic value increases toward its upper bound
+				ubB := t.u[t.basis[i]]
+				if math.IsInf(ubB, 1) {
+					continue
+				}
+				r = (ubB - t.b[i]) / rate
+				toUpper = true
+			}
+			if r < 0 {
+				r = 0
+			}
+			switch {
+			case leave < 0:
+			case r < rowT-eps:
+			case useBland && math.Abs(r-rowT) <= eps && t.basis[i] < t.basis[leave]:
+			default:
+				continue
+			}
+			rowT = r
+			leave = i
+			leaveAtUpper = toUpper
+		}
+		flipT := t.u[enter]
+		if leave < 0 {
+			if math.IsInf(flipT, 1) {
+				return 0, Unbounded
+			}
+			t.boundFlip(enter, d, flipT)
+			continue
+		}
+		if flipT < rowT-eps {
+			t.boundFlip(enter, d, flipT)
+			continue
+		}
+		t.pivotStep(leave, enter, d, rowT, leaveAtUpper)
+	}
+	return 0, IterLimit
+}
+
+// boundFlip moves the entering column across its full range to the
+// opposite bound: basic values shift, but the basis (and hence the matrix
+// and reduced costs) is unchanged.
+func (t *Tableau) boundFlip(enter int, d, step float64) {
+	n := t.nTot
+	for i := 0; i < t.m; i++ {
+		ae := t.a[i*n+enter]
+		if ae != 0 {
+			t.b[i] -= step * d * ae
+		}
+	}
+	t.clampValues()
+	t.atUpper[enter] = !t.atUpper[enter]
+}
+
+// pivotStep advances the entering variable by step, retires the blocking
+// basic variable to the bound it hit, and performs the Gauss-Jordan pivot
+// on the matrix and reduced costs. Basic values are maintained directly,
+// so b is not part of the elimination.
+func (t *Tableau) pivotStep(leave, enter int, d, step float64, leaveAtUpper bool) {
+	n := t.nTot
+	if step != 0 {
+		for i := 0; i < t.m; i++ {
+			ae := t.a[i*n+enter]
+			if ae != 0 {
+				t.b[i] -= step * d * ae
+			}
+		}
+	}
+	vE := d * step
+	if t.atUpper[enter] {
+		vE = t.u[enter] + d*step
+	}
+	r := t.basis[leave]
+	t.basic[r] = false
+	t.atUpper[r] = leaveAtUpper
+	t.basic[enter] = true
+	t.atUpper[enter] = false
+	t.basis[leave] = enter
+	t.b[leave] = vE
+
+	row := t.a[leave*n : (leave+1)*n]
+	inv := 1 / row[enter]
+	for j, rj := range row {
+		if rj != 0 {
+			row[j] = rj * inv
+		}
+	}
+	row[enter] = 1
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i*n+enter]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i*n : (i+1)*n]
+		for j, pj := range row {
+			if pj != 0 {
+				ri[j] -= f * pj
+			}
+		}
+		ri[enter] = 0
+	}
+	zf := t.z[enter]
+	if zf != 0 {
+		for j, pj := range row {
+			if pj != 0 {
+				t.z[j] -= zf * pj
+			}
+		}
+		t.z[enter] = 0
+	}
+	t.clampValues()
+}
+
+// clampValues snaps tiny negative basic values (numerical drift from the
+// manual value updates) back onto the feasible box.
+func (t *Tableau) clampValues() {
+	for i := 0; i < t.m; i++ {
+		v := t.b[i]
+		if v < 0 && v > -eps {
+			t.b[i] = 0
+			continue
+		}
+		if ub := t.u[t.basis[i]]; !math.IsInf(ub, 1) && v > ub && v < ub+eps {
+			t.b[i] = ub
+		}
+	}
+}
+
+// driveOutArtificials exchanges any artificial variable still basic at
+// zero level after phase 1 for a structural column (a degenerate t=0
+// pivot: no variable changes value), then erases the artificial columns
+// so they can never carry value again. Redundant rows keep their
+// artificial basic at zero.
+func (t *Tableau) driveOutArtificials() {
+	n := t.nTot
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		swapped := false
+		for j := 0; j < t.artStart; j++ {
+			if t.basic[j] {
+				continue
+			}
+			v := t.a[i*n+j]
+			if v > pivotEps || v < -pivotEps {
+				t.exchangeAtBound(i, j)
+				swapped = true
+				break
+			}
+		}
+		if !swapped {
+			t.b[i] = 0
+		}
+	}
+	for i := 0; i < t.m; i++ {
+		base := i * n
+		for j := t.artStart; j < n; j++ {
+			if t.basis[i] != j {
+				t.a[base+j] = 0
+			}
+		}
+	}
+}
+
+// exchangeAtBound makes nonbasic column j basic in row i without moving
+// any variable: the leaving artificial sits at 0 and j enters at its
+// current bound value. Only the matrix needs the Gauss-Jordan update.
+func (t *Tableau) exchangeAtBound(i, j int) {
+	n := t.nTot
+	r := t.basis[i]
+	t.basic[r] = false
+	t.atUpper[r] = false
+	vE := 0.0
+	if t.atUpper[j] {
+		vE = t.u[j]
+	}
+	t.basic[j] = true
+	t.atUpper[j] = false
+	t.basis[i] = j
+	t.b[i] = vE
+
+	row := t.a[i*n : (i+1)*n]
+	inv := 1 / row[j]
+	for k, rk := range row {
+		if rk != 0 {
+			row[k] = rk * inv
+		}
+	}
+	row[j] = 1
+	for i2 := 0; i2 < t.m; i2++ {
+		if i2 == i {
+			continue
+		}
+		f := t.a[i2*n+j]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i2*n : (i2+1)*n]
+		for k, pk := range row {
+			if pk != 0 {
+				ri[k] -= f * pk
+			}
+		}
+		ri[j] = 0
+	}
+}

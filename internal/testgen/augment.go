@@ -15,6 +15,7 @@ package testgen
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/chip"
@@ -92,6 +93,15 @@ type Options struct {
 	// the observability hook for the exact engine. It never affects the
 	// solve.
 	OnILPAttempt func(paths, nodes, lazyCuts int)
+	// Workers sets the branch-and-bound worker-pool size for the ILP
+	// solves (0 = all CPU cores, mirroring core.Options.Workers; 1 =
+	// serial). The result is worker-count independent — see package ilp.
+	Workers int
+	// OnILPStats, when non-nil, is called after every ILP solve with the
+	// parallel-search statistics of that solve (resolved worker count,
+	// cross-worker steals, idle waits and lazy-cut requeues). It never
+	// affects the solve.
+	OnILPStats func(workers, steals, idleWaits, requeued int)
 }
 
 // DefaultMaxPaths caps the |P| iteration when Options.MaxPaths is 0.
@@ -102,6 +112,15 @@ func (o Options) maxPaths() int {
 		return o.MaxPaths
 	}
 	return DefaultMaxPaths
+}
+
+// ilpWorkers resolves Options.Workers the same way fault.NewEngine resolves
+// its pool size: 0 means one worker per CPU core.
+func (o Options) ilpWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // testPorts returns the paper's test port pair (most distant ports) and

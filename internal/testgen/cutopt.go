@@ -34,18 +34,62 @@ func GenerateCutsOptimal(c *chip.Chip, src, dst int) ([]fault.Vector, error) {
 // falls back to the greedy cover; when the context is cancelled it returns
 // the context's error.
 func GenerateCutsOptimalCtx(ctx context.Context, c *chip.Chip, src, dst int, opts Options) ([]fault.Vector, error) {
-	cands, err := enumerateCutCandidates(c, src, dst, 3)
+	p, pool, vars, err := buildCutCoverILP(c, src, dst)
 	if err != nil {
 		return nil, err
+	}
+	maxNodes := opts.ILPMaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultCutILPMaxNodes
+	}
+	res, err := ilp.NewModel(p).SolveCtx(ctx, ilp.Options{
+		MaxNodes: maxNodes,
+		Workers:  opts.ilpWorkers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.OnILPStats != nil {
+		st := res.Stats
+		opts.OnILPStats(st.Workers, st.Steals, st.IdleWaits, st.Requeued)
+	}
+	if res.Status == ilp.Aborted {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("testgen: cut set-cover cancelled: %w", ctxErr)
+		}
+	}
+	if res.Status == ilp.Infeasible || res.Status == ilp.Aborted {
+		return GenerateCuts(c, src, dst) // greedy fallback
+	}
+	var out []fault.Vector
+	for i := range pool {
+		if res.X[vars[i]] > 0.5 {
+			out = append(out, pool[i].vector)
+		}
+	}
+	return out, nil
+}
+
+// cutCandidate is a fault-simulated candidate test cut: the vector plus
+// the set of valves whose stuck-at-1 faults it detects.
+type cutCandidate struct {
+	vector  fault.Vector
+	detects []int
+}
+
+// buildCutCoverILP enumerates candidate cuts between ports src and dst,
+// fault-simulates their detection sets and constructs the exact set-cover
+// ILP. It returns the problem, the candidate pool and the pool's variable
+// indices (vars[i] selects pool[i]).
+func buildCutCoverILP(c *chip.Chip, src, dst int) (*lp.Problem, []cutCandidate, []int, error) {
+	cands, err := enumerateCutCandidates(c, src, dst, 3)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	sim := fault.MustSimulator(c, chip.IndependentControl(c))
 
 	// Detection sets.
-	type scored struct {
-		vector  fault.Vector
-		detects []int
-	}
-	var pool []scored
+	var pool []cutCandidate
 	seen := map[string]bool{}
 	for _, vec := range cands {
 		key := intsKeyLocal(vec.Valves)
@@ -63,7 +107,7 @@ func GenerateCutsOptimalCtx(ctx context.Context, c *chip.Chip, src, dst int, opt
 			}
 		}
 		if len(det) > 0 {
-			pool = append(pool, scored{vector: vec, detects: det})
+			pool = append(pool, cutCandidate{vector: vec, detects: det})
 		}
 	}
 
@@ -76,7 +120,7 @@ func GenerateCutsOptimalCtx(ctx context.Context, c *chip.Chip, src, dst int, opt
 	}
 	for v, ok := range covered {
 		if !ok {
-			return nil, fmt.Errorf("testgen: no candidate cut detects valve %d", v)
+			return nil, nil, nil, fmt.Errorf("testgen: no candidate cut detects valve %d", v)
 		}
 	}
 
@@ -98,29 +142,18 @@ func GenerateCutsOptimalCtx(ctx context.Context, c *chip.Chip, src, dst int, opt
 		}
 		p.AddConstraint(lp.Constraint{Terms: terms, Rel: lp.GE, RHS: 1})
 	}
-	maxNodes := opts.ILPMaxNodes
-	if maxNodes <= 0 {
-		maxNodes = DefaultCutILPMaxNodes
-	}
-	res, err := ilp.NewModel(p).SolveCtx(ctx, ilp.Options{MaxNodes: maxNodes})
+	return p, pool, vars, nil
+}
+
+// CutCoverILPModel builds the test-cut set-cover ILP between ports src and
+// dst. Like PathILPModel it exists for benchmarking the branch-and-bound
+// engine on the paper's real models (cmd/bench -ilp).
+func CutCoverILPModel(c *chip.Chip, src, dst int) (*ilp.Model, error) {
+	p, _, _, err := buildCutCoverILP(c, src, dst)
 	if err != nil {
 		return nil, err
 	}
-	if res.Status == ilp.Aborted {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, fmt.Errorf("testgen: cut set-cover cancelled: %w", ctxErr)
-		}
-	}
-	if res.Status == ilp.Infeasible || res.Status == ilp.Aborted {
-		return GenerateCuts(c, src, dst) // greedy fallback
-	}
-	var out []fault.Vector
-	for i := range pool {
-		if res.X[vars[i]] > 0.5 {
-			out = append(out, pool[i].vector)
-		}
-	}
-	return out, nil
+	return ilp.NewModel(p), nil
 }
 
 // enumerateCutCandidates returns up to k candidate cuts per valve: the

@@ -46,7 +46,19 @@ func AugmentILPCtx(ctx context.Context, c *chip.Chip, opts Options) (*Augmentati
 // with errors.Is(err, ErrInfeasible).
 var ErrInfeasible = errors.New("testgen: infeasible")
 
-func solvePathILP(ctx context.Context, c *chip.Chip, srcPort, dstPort, srcNode, dstNode, nPaths int, opts Options) (*Augmentation, error) {
+// pathILPVars maps the path ILP's decision variables back to the grid:
+// eVar[r][j] is edge j on path r, sVar[j] the kept-free-edge selector (or
+// -1 for original edges).
+type pathILPVars struct {
+	eVar [][]int
+	sVar []int
+}
+
+// buildPathILP constructs the test-path generation ILP (eqs. (1)-(6)) for
+// |P| = nPaths between srcNode and dstNode, together with the lazy
+// loop-exclusion callback (technique of ref. [16]). The callback adds
+// subtour-elimination cuts, i.e. it mutates the problem across solves.
+func buildPathILP(c *chip.Chip, srcNode, dstNode, nPaths int, opts Options) (*lp.Problem, *pathILPVars, func(x []float64) []lp.Constraint) {
 	g := c.Grid.Graph()
 	nEdges := g.NumEdges()
 	nNodes := g.NumNodes()
@@ -134,7 +146,6 @@ func solvePathILP(ctx context.Context, c *chip.Chip, srcPort, dstPort, srcNode, 
 
 	// Lazy loop exclusion: reject integer candidates whose per-path edge
 	// sets contain disjoint cycles.
-	lazyCuts := 0
 	lazy := func(x []float64) []lp.Constraint {
 		var cuts []lp.Constraint
 		for r := 0; r < nPaths; r++ {
@@ -169,20 +180,46 @@ func solvePathILP(ctx context.Context, c *chip.Chip, srcPort, dstPort, srcNode, 
 				cuts = append(cuts, lp.Constraint{Terms: terms, Rel: lp.LE, RHS: float64(len(cyc) - 1)})
 			}
 		}
-		lazyCuts += len(cuts)
 		return cuts
 	}
+	return prob, &pathILPVars{eVar: eVar, sVar: sVar}, lazy
+}
+
+// PathILPModel builds the test-path generation ILP of the chip's paper
+// test-port pair with |P| = nPaths, returning the model and its lazy
+// loop-exclusion callback. It exists for benchmarking the branch-and-bound
+// engine on the paper's real models (cmd/bench -ilp); the lazy callback
+// adds cuts to the model, so callers must build a fresh model per solve.
+func PathILPModel(c *chip.Chip, nPaths int) (*ilp.Model, func(x []float64) []lp.Constraint) {
+	_, _, srcNode, dstNode := testPorts(c)
+	prob, _, lazy := buildPathILP(c, srcNode, dstNode, nPaths, Options{})
+	return ilp.NewModel(prob), lazy
+}
+
+func solvePathILP(ctx context.Context, c *chip.Chip, srcPort, dstPort, srcNode, dstNode, nPaths int, opts Options) (*Augmentation, error) {
+	g := c.Grid.Graph()
+	nEdges := g.NumEdges()
+	prob, vars, lazy := buildPathILP(c, srcNode, dstNode, nPaths, opts)
+	eVar, sVar := vars.eVar, vars.sVar
 
 	maxNodes := opts.ILPMaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 4000
 	}
-	res, err := ilp.NewModel(prob).SolveCtx(ctx, ilp.Options{MaxNodes: maxNodes, Lazy: lazy})
+	res, err := ilp.NewModel(prob).SolveCtx(ctx, ilp.Options{
+		MaxNodes: maxNodes,
+		Workers:  opts.ilpWorkers(),
+		Lazy:     lazy,
+	})
 	if err != nil {
 		return nil, err
 	}
 	if opts.OnILPAttempt != nil {
 		opts.OnILPAttempt(nPaths, res.Nodes, res.LazyCuts)
+	}
+	if opts.OnILPStats != nil {
+		st := res.Stats
+		opts.OnILPStats(st.Workers, st.Steals, st.IdleWaits, st.Requeued)
 	}
 	switch res.Status {
 	case ilp.Infeasible:
