@@ -3,9 +3,13 @@
 //
 //	bench [-out BENCH_fault.json]
 //	bench -ilp [-out BENCH_ilp.json]
+//	bench -pressure [-out BENCH_pressure.json]
 //
 // With -ilp it instead benchmarks the branch-and-bound ILP engine on the
 // paper's test-path and test-cut models of both example chips (see ilp.go).
+// With -pressure it benchmarks the node-pressure solvers — dense baseline
+// vs the sparse cached-factorization engine, cold and warm, plus the
+// parallel batch API — on every bundled design (see pressure.go).
 //
 // Three variants run over the same cold campaign (fresh simulator per
 // iteration): the seed's serial recomputation baseline, the memoized
@@ -59,9 +63,16 @@ func main() {
 func run() int {
 	outFile := flag.String("out", "", "write the JSON report to FILE (default: stdout)")
 	ilpMode := flag.Bool("ilp", false, "benchmark the branch-and-bound ILP engine (seed serial vs parallel at 1/2/4/8 workers) instead of the fault campaign")
+	pressureMode := flag.Bool("pressure", false, "benchmark the node-pressure solvers (dense vs sparse-cold vs sparse-warm vs parallel) per design instead of the fault campaign")
 	flag.Parse()
+	if *ilpMode && *pressureMode {
+		return cliutil.Usagef(tool, "-ilp and -pressure are mutually exclusive")
+	}
 	if *ilpMode {
 		return runILP(*outFile)
+	}
+	if *pressureMode {
+		return runPressure(*outFile)
 	}
 
 	c := chip.MRNA()

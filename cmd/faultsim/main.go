@@ -3,13 +3,15 @@
 // and fault-simulates every stuck-at-0/1 defect against every vector,
 // printing the detection matrix and the final coverage.
 //
-//	faultsim -chip RA30_chip [-matrix] [-baseline] [-timeout 30s] [-workers 4] [-stats]
+//	faultsim -chip RA30_chip [-matrix] [-baseline] [-leakage] [-timeout 30s] [-workers 4] [-stats]
 //
 // The campaign runs on the parallel memoized engine; -workers sizes the
 // worker pool (default: all CPU cores). Coverage output is bit-identical
 // for any worker count. -stats prints a per-stage breakdown of the
 // campaign (augment → cuts → campaign) including the simulator's
-// memo-cache hit rate.
+// memo-cache hit rate. -leakage appends a quantitative leakage stage:
+// the cut vectors rerun through the sparse pressure engine to report
+// which closed-valve leaks a threshold meter actually registers.
 //
 // Exit codes: 0 success; 1 error; 2 usage; 4 cancelled (Ctrl-C, SIGTERM
 // or -timeout expired before the campaign finished).
@@ -41,8 +43,9 @@ func run() int {
 		baseline = flag.Bool("baseline", false, "also run the multi-instrument baseline on the original chip")
 		optimal  = flag.Bool("optimal", false, "use the exact minimum cut-set cover (ILP) instead of the greedy one")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
-		workers  = flag.Int("workers", 0, "fault-simulation and ILP worker-pool size (0 = all CPU cores)")
+		workers  = flag.Int("workers", 0, "fault-simulation, pressure-solve and ILP worker-pool size (0 = all CPU cores)")
 		stats    = flag.Bool("stats", false, "report the per-stage breakdown of the campaign (incl. memo-cache hit rate)")
+		leakage  = flag.Bool("leakage", false, "quantify membrane-leakage detectability of the cut vectors on the sparse pressure engine")
 	)
 	flag.Parse()
 	c, err := cliutil.LoadChip(*chipName, "")
@@ -64,6 +67,7 @@ func run() int {
 		sim     *fault.Simulator
 		faults  []dft.Fault
 		cov     dft.Coverage
+		leakRep *dft.LeakageReport
 	)
 	memoInto := func(st *flowstage.StageStats, base fault.MetricsSnapshot) {
 		d := metrics.Snapshot().Sub(base)
@@ -115,6 +119,26 @@ func run() int {
 			return nil
 		}},
 	}}
+	if *leakage {
+		pipe.Stages = append(pipe.Stages, flowstage.Stage{
+			Name: "leakage",
+			Run: func(ctx context.Context, st *flowstage.StageStats) error {
+				var err error
+				leakRep, err = dft.QuantifyLeakage(ctx, sim, cuts, dft.LeakageOptions{Workers: *workers})
+				if err != nil {
+					return err
+				}
+				ps := leakRep.Solves
+				st.Count("pressure_solves", ps.Solves)
+				st.Count("pressure_cold", ps.Cold)
+				st.Count("pressure_warm", ps.Warm)
+				st.Count("pressure_rank_updates", ps.RankUpdates)
+				st.Count("leakage_examined", int64(leakRep.Examined))
+				st.Count("leakage_detectable", int64(leakRep.Detectable))
+				return nil
+			},
+		})
+	}
 	pstats, err := pipe.Run(ctx)
 	if err != nil {
 		if *stats {
@@ -148,6 +172,15 @@ func run() int {
 	fmt.Printf("\nsingle-source single-meter coverage: %v\n", cov)
 	for _, f := range cov.Undetected {
 		fmt.Printf("  UNDETECTED: %v\n", f)
+	}
+
+	if leakRep != nil {
+		fmt.Printf("\nquantitative leakage (meter threshold, sparse engine): %v\n", leakRep)
+		fmt.Printf("  pressure solves: %d (%d warm, %d cold)\n",
+			leakRep.Solves.Solves, leakRep.Solves.Warm, leakRep.Solves.Cold)
+		for _, v := range leakRep.Undetectable {
+			fmt.Printf("  LEAK UNDETECTABLE: v%d\n", v)
+		}
 	}
 
 	if *baseline {

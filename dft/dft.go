@@ -203,6 +203,21 @@ func NewEngine(sim *fault.Simulator, workers int) *Engine {
 	return fault.NewEngine(sim, workers)
 }
 
+// LeakageReport and LeakageOptions belong to the quantitative leakage
+// campaign (QuantifyLeakage).
+type (
+	LeakageReport  = fault.LeakageReport
+	LeakageOptions = fault.LeakageOptions
+)
+
+// QuantifyLeakage reruns the cut vectors through the quantitative
+// pressure model (sparse cached-factorization engine) and reports which
+// closed-valve leaks push a meter past its threshold — the paper's
+// membrane-leakage extension, evaluated instead of assumed.
+func QuantifyLeakage(ctx context.Context, sim *fault.Simulator, cuts []Vector, opts LeakageOptions) (*LeakageReport, error) {
+	return fault.QuantifyLeakage(ctx, sim, cuts, opts)
+}
+
 // IndependentControl gives every valve its own control line.
 func IndependentControl(c *Chip) *Control { return chip.IndependentControl(c) }
 

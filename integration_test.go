@@ -59,30 +59,51 @@ func TestEndToEndPipeline(t *testing.T) {
 
 	// Quantitative pressure agrees with every path vector: the meter reads
 	// flow on a good chip and loses it under a stuck-at-0 fault on the
-	// path.
+	// path. The warm sparse solver chain must agree with the dense
+	// baseline on every state along the way.
 	src := res.Aug.Chip.Ports[res.Aug.Source].Node
 	mtr := res.Aug.Chip.Ports[res.Aug.Meter].Node
+	eng, err := pressure.NewEngine(res.Aug.Chip, src, mtr, pressure.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := eng.NewSolver()
+	crossCheck := func(cond []float64) pressure.Result {
+		t.Helper()
+		sparse, err := solver.Solve(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := pressure.SolveBaseline(res.Aug.Chip, cond, src, mtr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.MeterFlow - dense.MeterFlow; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("engine flow %g != baseline %g", sparse.MeterFlow, dense.MeterFlow)
+		}
+		if sparse.Reads(pressure.Params{}) != dense.Reads(pressure.Params{}) {
+			t.Fatal("engine and baseline disagree on the meter decision")
+		}
+		return sparse
+	}
 	for _, vec := range res.PathVectors {
 		intended := make([]bool, res.Aug.Chip.NumValves())
 		for _, v := range vec.Valves {
 			intended[v] = true
 		}
 		open := res.Control.ExpandOpen(intended)
-		good, err := pressure.Solve(res.Aug.Chip, pressure.Conductances(res.Aug.Chip, open, pressure.Params{}, nil), src, mtr)
-		if err != nil {
-			t.Fatal(err)
-		}
+		good := crossCheck(pressure.Conductances(res.Aug.Chip, open, pressure.Params{}, nil))
 		if !good.Reads(pressure.Params{}) {
 			t.Fatalf("quantitative model sees no flow for path vector %v", vec.Valves)
 		}
-		bad, err := pressure.Solve(res.Aug.Chip, pressure.Conductances(res.Aug.Chip, open, pressure.Params{},
-			map[int]pressure.Defect{vec.Valves[0]: pressure.StuckClosed}), src, mtr)
-		if err != nil {
-			t.Fatal(err)
-		}
+		bad := crossCheck(pressure.Conductances(res.Aug.Chip, open, pressure.Params{},
+			map[int]pressure.Defect{vec.Valves[0]: pressure.StuckClosed}))
 		if bad.MeterFlow >= good.MeterFlow {
 			t.Fatal("stuck-at-0 on the path did not reduce flow")
 		}
+	}
+	if st := eng.Stats(); st.Solves != int64(2*len(res.PathVectors)) {
+		t.Fatalf("engine solve count %d, want %d", st.Solves, 2*len(res.PathVectors))
 	}
 }
 

@@ -159,6 +159,12 @@ type Result struct {
 	// Solve records which tier of the augmentation degradation chain
 	// produced the reference configuration and why earlier tiers failed.
 	Solve solve.Provenance
+	// Leakage quantifies the membrane-leakage extension over the final
+	// cut vectors on the sparse pressure engine: which closed-valve leaks
+	// push a meter past its threshold. nil only when the final set has no
+	// cut vectors to evaluate.
+	Leakage *fault.LeakageReport
+
 	// Interrupted is true when the flow's context expired or was
 	// cancelled before the search finished; the result is then valid but
 	// less optimized than a full run's.

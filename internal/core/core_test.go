@@ -54,6 +54,39 @@ func TestFlowIVDOnIVD(t *testing.T) {
 		res.NumDFTValves, res.NumTestVectors, res.Runtime)
 }
 
+// The flow's finalize stage runs the quantitative leakage campaign over
+// the final cut vectors on the sparse pressure engine and attributes its
+// solve counters to the stage.
+func TestFlowQuantifiesLeakage(t *testing.T) {
+	res, err := RunDFTFlow(chip.IVD(), assay.IVD(), smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CutVectors) == 0 {
+		t.Fatal("no cut vectors to quantify")
+	}
+	l := res.Leakage
+	if l == nil {
+		t.Fatal("missing leakage report")
+	}
+	if l.Vectors != len(res.CutVectors) || l.Examined == 0 {
+		t.Fatalf("leakage campaign incomplete: %+v over %d cuts", l, len(res.CutVectors))
+	}
+	if l.Detectable+len(l.Undetectable) != l.Examined {
+		t.Fatalf("leakage counts don't add up: %+v", l)
+	}
+	if l.Solves.Solves == 0 {
+		t.Fatalf("no pressure solves recorded: %+v", l.Solves)
+	}
+	final := res.Stats.Stages[len(res.Stats.Stages)-1]
+	if final.Counter("pressure_solves") != l.Solves.Solves {
+		t.Fatalf("finalize stage counter %d, report %d", final.Counter("pressure_solves"), l.Solves.Solves)
+	}
+	if final.Counter("leakage_examined") != int64(l.Examined) {
+		t.Fatalf("finalize stage examined counter %d, report %d", final.Counter("leakage_examined"), l.Examined)
+	}
+}
+
 // The headline property: the returned architecture + sharing + vectors
 // achieve full fault coverage with a single source and a single meter.
 func TestFlowFullCoverageSingleSourceSingleMeter(t *testing.T) {

@@ -80,6 +80,32 @@ func (f *flow) runFinalizeStage(ctx context.Context, st *flowstage.StageStats) e
 		}
 	}
 
+	// Quantitative leakage campaign (the paper's "can be tested similarly"
+	// extension) over the final cut vectors, batched through the sparse
+	// pressure engine. Finalization always runs to completion, so no ctx.
+	var leakage *fault.LeakageReport
+	if len(finalCuts) > 0 {
+		sim, simErr := f.newSimulator(bestEval.aug.Chip, ctrl)
+		if simErr != nil {
+			return simErr
+		}
+		leakage, err = fault.QuantifyLeakage(context.Background(), sim, finalCuts,
+			fault.LeakageOptions{Workers: f.opts.Workers})
+		if err != nil {
+			return err
+		}
+		ps := leakage.Solves
+		st.Count("pressure_solves", ps.Solves)
+		st.Count("pressure_cold", ps.Cold)
+		st.Count("pressure_warm", ps.Warm)
+		st.Count("pressure_rank_updates", ps.RankUpdates)
+		st.Count("pressure_fallback_rank", ps.FallbackRank)
+		st.Count("pressure_fallback_reach", ps.FallbackReach)
+		st.Count("pressure_fallback_numeric", ps.FallbackNumeric)
+		st.Count("leakage_examined", int64(leakage.Examined))
+		st.Count("leakage_detectable", int64(leakage.Detectable))
+	}
+
 	// The trace records the outer swarm's global best per iteration; the
 	// framework's final choice may come from the ban-loop seeds or the
 	// post-PSO search, so close the trace with the best value actually
@@ -104,6 +130,7 @@ func (f *flow) runFinalizeStage(ctx context.Context, st *flowstage.StageStats) e
 		NumDFTValves:    bestEval.aug.Chip.NumDFTValves(),
 		NumShared:       ctrl.NumShared(),
 		NumTestVectors:  len(finalPaths) + len(finalCuts),
+		Leakage:         leakage,
 		Solve:           chainOut.Provenance,
 		Interrupted:     ctx.Err() != nil,
 		CoverageFull:    full,

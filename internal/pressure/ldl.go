@@ -1,0 +1,119 @@
+package pressure
+
+// ldl.go implements the sparse LDLᵀ (Cholesky-form) factorization the
+// engine caches: the classic up-looking algorithm over an elimination
+// tree (Davis's LDL). The pattern of A is fixed per rig, so the symbolic
+// phase — elimination tree and column counts — runs once (csr.go calls
+// ldlSymbolic at rig construction); the numeric phase refills Lx/D in
+// place with zero allocations, which is what makes cold refactorizations
+// cheap and the warm Sherman–Morrison–Woodbury path allocation-free.
+//
+// The assembled matrix is symmetric positive definite (grounded Laplacian
+// over the reachable unknowns, identity rows elsewhere), so no pivoting
+// is needed and every D entry is positive in exact arithmetic; the
+// numeric phase still guards each pivot against a magnitude-relative
+// tolerance and reports the offending column for ErrSingular wrapping.
+
+// ldlSymbolic computes the elimination tree and the column pointers of L
+// for the m x m upper-triangular pattern (Ap, Ai). Column j of the input
+// holds entries with row <= j, diagonal included.
+func ldlSymbolic(m int, Ap, Ai []int32) (parent, Lp []int32) {
+	parent = make([]int32, m)
+	Lp = make([]int32, m+1)
+	lnz := make([]int32, m)
+	flag := make([]int32, m)
+	for k := 0; k < m; k++ {
+		parent[k] = -1
+		flag[k] = int32(k)
+		for p := Ap[k]; p < Ap[k+1]; p++ {
+			i := Ai[p]
+			for i < int32(k) && flag[i] != int32(k) {
+				if parent[i] == -1 {
+					parent[i] = int32(k)
+				}
+				lnz[i]++
+				flag[i] = int32(k)
+				i = parent[i]
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		Lp[k+1] = Lp[k] + lnz[k]
+	}
+	return parent, Lp
+}
+
+// ldlNumeric factorizes A = L D Lᵀ for the fixed pattern, writing Li, Lx
+// and D in place using the caller's workspaces (y, pattern, flag, lnz,
+// each of length m). It returns the column of the first pivot whose
+// magnitude is <= tol, or -1 on success. No allocation.
+func ldlNumeric(m int, Ap, Ai []int32, Ax []float64, parent, Lp []int32,
+	Li []int32, Lx, D []float64, y []float64, pattern, flag, lnz []int32, tol float64) int {
+	for k := 0; k < m; k++ {
+		y[k] = 0
+		top := int32(m)
+		flag[k] = int32(k)
+		lnz[k] = 0
+		for p := Ap[k]; p < Ap[k+1]; p++ {
+			i := Ai[p]
+			if i > int32(k) {
+				continue
+			}
+			y[i] += Ax[p]
+			l := int32(0)
+			for ; flag[i] != int32(k); i = parent[i] {
+				pattern[l] = i
+				l++
+				flag[i] = int32(k)
+			}
+			for l > 0 {
+				l--
+				top--
+				pattern[top] = pattern[l]
+			}
+		}
+		D[k] = y[k]
+		y[k] = 0
+		for ; top < int32(m); top++ {
+			i := pattern[top]
+			yi := y[i]
+			y[i] = 0
+			p2 := Lp[i] + lnz[i]
+			for p := Lp[i]; p < p2; p++ {
+				y[Li[p]] -= Lx[p] * yi
+			}
+			lki := yi / D[i]
+			D[k] -= lki * yi
+			Li[p2] = int32(k)
+			Lx[p2] = lki
+			lnz[i]++
+		}
+		if D[k] <= tol && D[k] >= -tol {
+			return k
+		}
+	}
+	return -1
+}
+
+// ldlSolve solves L D Lᵀ x = b in place (x holds b on entry, the solution
+// on exit). No allocation.
+func ldlSolve(m int, Lp, Li []int32, Lx, D []float64, x []float64) {
+	for j := 0; j < m; j++ {
+		xj := x[j]
+		if xj != 0 {
+			for p := Lp[j]; p < Lp[j+1]; p++ {
+				x[Li[p]] -= Lx[p] * xj
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		x[j] /= D[j]
+	}
+	for j := m - 1; j >= 0; j-- {
+		xj := x[j]
+		for p := Lp[j]; p < Lp[j+1]; p++ {
+			xj -= Lx[p] * x[Li[p]]
+		}
+		x[j] = xj
+	}
+}

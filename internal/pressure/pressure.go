@@ -16,16 +16,30 @@
 //     detects — quantifying the paper's remark that leakage faults "can
 //     be tested similarly".
 //
-// The solver is dense Gaussian elimination over the grounded Laplacian;
-// biochip networks have at most a few hundred nodes.
+// Two solvers implement the model. SolveBaseline is the original dense
+// Gaussian elimination over the grounded Laplacian, kept verbatim for
+// cross-checks. The production path is the sparse Engine (engine.go): CSR
+// assembly, a cached LDLᵀ factorization under a fill-reducing elimination
+// order, Sherman–Morrison–Woodbury low-rank updates between test vectors
+// that differ in only a few valve states, and a batched parallel
+// EvaluateAll for whole leakage campaigns.
 package pressure
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/chip"
 )
+
+// ErrSingular reports that the grounded node-pressure system has no
+// unique solution. It should not occur for systems assembled by this
+// package — unknowns are restricted to nodes reachable from a terminal
+// over conducting edges, which grounds every Laplacian block — so seeing
+// it means the matrix was degenerate beyond that protection (test with
+// errors.Is).
+var ErrSingular = errors.New("pressure: singular node-pressure system")
 
 // Params tunes the physical model.
 type Params struct {
@@ -33,19 +47,29 @@ type Params struct {
 	// (default 1).
 	OpenConductance float64
 	// LeakConductance is the residual conductance of a CLOSED valve with a
-	// leakage defect (default 0.05). Healthy closed valves conduct 0.
+	// leakage defect (default 0.05 unless HasLeakConductance is set).
+	// Healthy closed valves conduct 0.
 	LeakConductance float64
+	// HasLeakConductance marks LeakConductance as explicitly chosen, making
+	// a genuinely zero leak expressible: {LeakConductance: 0} alone would
+	// silently become the 0.05 default (the Options.IncumbentObj ambiguity,
+	// fixed the same way).
+	HasLeakConductance bool
 	// MeterThreshold is the minimum inflow the meter registers as
 	// "pressure present" (default 1e-6).
 	MeterThreshold float64
 }
 
-func (p Params) withDefaults() Params {
+// WithDefaults returns the params with unset fields replaced by the
+// documented defaults. A zero LeakConductance is preserved when
+// HasLeakConductance is set.
+func (p Params) WithDefaults() Params {
 	if p.OpenConductance == 0 {
 		p.OpenConductance = 1
 	}
-	if p.LeakConductance == 0 {
+	if p.LeakConductance == 0 && !p.HasLeakConductance {
 		p.LeakConductance = 0.05
+		p.HasLeakConductance = true
 	}
 	if p.MeterThreshold == 0 {
 		p.MeterThreshold = 1e-6
@@ -55,8 +79,8 @@ func (p Params) withDefaults() Params {
 
 // Result of a pressure solve.
 type Result struct {
-	// NodePressure maps every grid node to its pressure in [0,1]
-	// (NaN for nodes with no open connection to either terminal).
+	// NodePressure maps every grid node to its pressure in [0,1] (0 for
+	// nodes with no conducting connection to either terminal).
 	NodePressure []float64
 	// MeterFlow is the air flow arriving at the meter node.
 	MeterFlow float64
@@ -64,13 +88,31 @@ type Result struct {
 
 // Reads reports whether the meter registers the flow under the params.
 func (r Result) Reads(p Params) bool {
-	return r.MeterFlow > p.withDefaults().MeterThreshold
+	return r.MeterFlow > p.WithDefaults().MeterThreshold
 }
 
 // Solve computes the steady-state pressures for a chip whose valves have
 // the given conductances (indexed by valve ID; 0 = fully closed). The
 // source node is held at pressure 1, the meter node at 0.
+//
+// Solve builds a one-shot sparse Engine per call; campaign loops that
+// solve many states of the same rig should construct the Engine once and
+// reuse it (or its Solvers) so the factorization and the symbolic
+// analysis are cached.
 func Solve(c *chip.Chip, conductance []float64, sourceNode, meterNode int) (Result, error) {
+	eng, err := NewEngine(c, sourceNode, meterNode, EngineOptions{})
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.Solve(conductance)
+}
+
+// SolveBaseline is the seed's dense Gaussian-elimination solver, kept
+// verbatim for cross-checks against the sparse Engine. It computes the
+// steady-state pressures for a chip whose valves have the given
+// conductances (indexed by valve ID; 0 = fully closed), with the source
+// node held at 1 and the meter node at 0.
+func SolveBaseline(c *chip.Chip, conductance []float64, sourceNode, meterNode int) (Result, error) {
 	if len(conductance) != c.NumValves() {
 		return Result{}, fmt.Errorf("pressure: %d conductances for %d valves", len(conductance), c.NumValves())
 	}
@@ -204,7 +246,7 @@ func gauss(a [][]float64, m int) ([]float64, error) {
 			}
 		}
 		if math.Abs(a[piv][col]) <= tol {
-			return nil, fmt.Errorf("pressure: singular system at column %d", col)
+			return nil, fmt.Errorf("%w (dense elimination, column %d)", ErrSingular, col)
 		}
 		a[col], a[piv] = a[piv], a[col]
 		inv := 1 / a[col][col]
@@ -233,7 +275,7 @@ func gauss(a [][]float64, m int) ([]float64, error) {
 // under the physical params, with optional defects: stuck-at-1 and leakage
 // make a closed valve conduct; stuck-at-0 makes an open valve block.
 func Conductances(c *chip.Chip, open []bool, p Params, defects map[int]Defect) []float64 {
-	p = p.withDefaults()
+	p = p.WithDefaults()
 	out := make([]float64, c.NumValves())
 	for v := 0; v < c.NumValves(); v++ {
 		isOpen := open[v]

@@ -171,12 +171,23 @@ func TestQuantMatchesBooleanProperty(t *testing.T) {
 
 func TestBadInputs(t *testing.T) {
 	c := chip.IVD()
-	if _, err := Solve(c, make([]float64, 3), 0, 1); err == nil {
-		t.Fatal("wrong conductance length must fail")
-	}
 	cond := Conductances(c, allOpen(c), Params{}, nil)
-	if _, err := Solve(c, cond, 5, 5); err == nil {
-		t.Fatal("coincident terminals must fail")
+	for name, solve := range solvers() {
+		if _, err := solve(c, make([]float64, 3), 0, 1); err == nil {
+			t.Fatalf("%s: wrong conductance length must fail", name)
+		}
+		if _, err := solve(c, cond, 5, 5); err == nil {
+			t.Fatalf("%s: coincident terminals must fail", name)
+		}
+	}
+}
+
+// solvers enumerates both entry points so legacy regressions cover the
+// engine path and the preserved dense baseline alike.
+func solvers() map[string]func(*chip.Chip, []float64, int, int) (Result, error) {
+	return map[string]func(*chip.Chip, []float64, int, int) (Result, error){
+		"engine":   Solve,
+		"baseline": SolveBaseline,
 	}
 }
 
@@ -191,32 +202,34 @@ func TestGaussTinyConductancesSolve(t *testing.T) {
 	c := chip.IVD()
 	src, mtr := c.Ports[0].Node, c.Ports[2].Node
 	unit := Conductances(c, allOpen(c), Params{}, nil)
-	ref, err := Solve(c, unit, src, mtr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, scale := range []float64{1e-13, 1e-9, 1e9} {
-		cond := make([]float64, len(unit))
-		for i, g := range unit {
-			cond[i] = g * scale
-		}
-		res, err := Solve(c, cond, src, mtr)
+	for name, solve := range solvers() {
+		ref, err := solve(c, unit, src, mtr)
 		if err != nil {
-			t.Fatalf("scale %g: %v", scale, err)
+			t.Fatal(err)
 		}
-		// Pressures depend only on conductance ratios.
-		for n, p := range ref.NodePressure {
-			q := res.NodePressure[n]
-			if math.IsNaN(p) != math.IsNaN(q) {
-				t.Fatalf("scale %g node %d: NaN mismatch (%v vs %v)", scale, n, p, q)
+		for _, scale := range []float64{1e-13, 1e-9, 1e9} {
+			cond := make([]float64, len(unit))
+			for i, g := range unit {
+				cond[i] = g * scale
 			}
-			if !math.IsNaN(p) && math.Abs(p-q) > 1e-6 {
-				t.Fatalf("scale %g node %d: pressure %v, want %v", scale, n, q, p)
+			res, err := solve(c, cond, src, mtr)
+			if err != nil {
+				t.Fatalf("%s scale %g: %v", name, scale, err)
 			}
-		}
-		// Flow scales linearly with conductance.
-		if rel := math.Abs(res.MeterFlow-ref.MeterFlow*scale) / (ref.MeterFlow * scale); rel > 1e-6 {
-			t.Fatalf("scale %g: meter flow %v, want %v", scale, res.MeterFlow, ref.MeterFlow*scale)
+			// Pressures depend only on conductance ratios.
+			for n, p := range ref.NodePressure {
+				q := res.NodePressure[n]
+				if math.IsNaN(p) != math.IsNaN(q) {
+					t.Fatalf("%s scale %g node %d: NaN mismatch (%v vs %v)", name, scale, n, p, q)
+				}
+				if !math.IsNaN(p) && math.Abs(p-q) > 1e-6 {
+					t.Fatalf("%s scale %g node %d: pressure %v, want %v", name, scale, n, q, p)
+				}
+			}
+			// Flow scales linearly with conductance.
+			if rel := math.Abs(res.MeterFlow-ref.MeterFlow*scale) / (ref.MeterFlow * scale); rel > 1e-6 {
+				t.Fatalf("%s scale %g: meter flow %v, want %v", name, scale, res.MeterFlow, ref.MeterFlow*scale)
+			}
 		}
 	}
 }

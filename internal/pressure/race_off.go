@@ -1,0 +1,5 @@
+//go:build !race
+
+package pressure
+
+const raceEnabled = false

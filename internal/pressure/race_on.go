@@ -1,0 +1,7 @@
+//go:build race
+
+package pressure
+
+// raceEnabled reports whether the race detector instrumented this build;
+// allocation-budget tests skip under it (instrumentation allocates).
+const raceEnabled = true

@@ -23,6 +23,9 @@ type Document struct {
 	Execution   Execution    `json:"execution_times_s"`
 	RuntimeMS   int64        `json:"flow_runtime_ms"`
 	Solver      SolverInfo   `json:"solver"`
+	// Leakage, when present, summarizes the quantitative leakage campaign
+	// over the final cut vectors (sparse pressure engine).
+	Leakage *LeakageInfo `json:"leakage,omitempty"`
 	// Stats, when present, is the flow's per-stage runtime breakdown
 	// (populated by the CLIs' -stats flag; see BuildStats).
 	Stats *StatsDocument `json:"stage_stats,omitempty"`
@@ -39,6 +42,18 @@ type SolverInfo struct {
 	Interrupted  bool            `json:"interrupted"`
 	CoverageFull bool            `json:"coverage_full"`
 	Attempts     []SolverAttempt `json:"attempts,omitempty"`
+}
+
+// LeakageInfo is the serialized form of fault.LeakageReport: how many
+// closed-valve leaks the cut vectors expose under the quantitative
+// pressure model, plus the engine's solve counters.
+type LeakageInfo struct {
+	Examined     int   `json:"examined"`
+	Detectable   int   `json:"detectable"`
+	Undetectable []int `json:"undetectable,omitempty"`
+	Vectors      int   `json:"vectors"`
+	Solves       int64 `json:"pressure_solves"`
+	WarmSolves   int64 `json:"pressure_warm_solves"`
 }
 
 // SolverAttempt is one tier execution of the augmentation chain.
@@ -146,6 +161,16 @@ func Build(res *core.Result) Document {
 			Interrupted:  res.Interrupted,
 			CoverageFull: res.CoverageFull,
 		},
+	}
+	if l := res.Leakage; l != nil {
+		doc.Leakage = &LeakageInfo{
+			Examined:     l.Examined,
+			Detectable:   l.Detectable,
+			Undetectable: append([]int(nil), l.Undetectable...),
+			Vectors:      l.Vectors,
+			Solves:       l.Solves.Solves,
+			WarmSolves:   l.Solves.Warm,
+		}
 	}
 	for _, a := range res.Solve.Attempts {
 		doc.Solver.Attempts = append(doc.Solver.Attempts, SolverAttempt{
