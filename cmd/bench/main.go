@@ -4,12 +4,17 @@
 //	bench [-out BENCH_fault.json]
 //	bench -ilp [-out BENCH_ilp.json]
 //	bench -pressure [-out BENCH_pressure.json]
+//	bench -diagnose [-out BENCH_diagnose.json]
 //
 // With -ilp it instead benchmarks the branch-and-bound ILP engine on the
 // paper's test-path and test-cut models of both example chips (see ilp.go).
 // With -pressure it benchmarks the node-pressure solvers — dense baseline
 // vs the sparse cached-factorization engine, cold and warm, plus the
 // parallel batch API — on every bundled design (see pressure.go).
+// With -diagnose it measures adaptive fault diagnosis against exhaustive
+// replay — vectors-to-localize, suspect-set sizes and campaign
+// throughput per design, with a worker-count determinism check (see
+// diagnose.go).
 //
 // Three variants run over the same cold campaign (fresh simulator per
 // iteration): the seed's serial recomputation baseline, the memoized
@@ -64,15 +69,25 @@ func run() int {
 	outFile := flag.String("out", "", "write the JSON report to FILE (default: stdout)")
 	ilpMode := flag.Bool("ilp", false, "benchmark the branch-and-bound ILP engine (seed serial vs parallel at 1/2/4/8 workers) instead of the fault campaign")
 	pressureMode := flag.Bool("pressure", false, "benchmark the node-pressure solvers (dense vs sparse-cold vs sparse-warm vs parallel) per design instead of the fault campaign")
+	diagnoseMode := flag.Bool("diagnose", false, "benchmark adaptive fault diagnosis vs exhaustive replay per design instead of the fault campaign")
 	flag.Parse()
-	if *ilpMode && *pressureMode {
-		return cliutil.Usagef(tool, "-ilp and -pressure are mutually exclusive")
+	modes := 0
+	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return cliutil.Usagef(tool, "-ilp, -pressure and -diagnose are mutually exclusive")
 	}
 	if *ilpMode {
 		return runILP(*outFile)
 	}
 	if *pressureMode {
 		return runPressure(*outFile)
+	}
+	if *diagnoseMode {
+		return runDiagnose(*outFile)
 	}
 
 	c := chip.MRNA()

@@ -3,14 +3,23 @@
 // sharing scheme, and the full single-source single-meter test set.
 //
 //	dftgen -chip IVD_chip -assay IVD [-seed N] [-iters N] [-particles N] [-ilp]
+//	       [-diagnose] [-reconfigure] [-diagnose-budget N]
 //	       [-timeout 30s] [-inject exact:timeout,heuristic:panic] [-json] [-stats]
 //
 // The flow degrades gracefully: -timeout (or Ctrl-C / SIGTERM) stops the
 // search cooperatively and the best result found so far is still emitted.
-// -inject forces deterministic faults in the augmentation chain for
-// degradation drills. -stats prints the per-stage runtime breakdown of
-// the flow pipeline (schedule → reference → banloop → outer → finalize);
-// with -json the breakdown is embedded in the document as "stage_stats".
+// -inject forces deterministic faults in any chain — augmentation tiers
+// (exact/heuristic/repair) as well as, with the optional stages enabled,
+// the diagnose-*/reconf-* tiers. -stats prints the per-stage runtime
+// breakdown of the flow pipeline (schedule → reference → banloop →
+// outer → finalize, plus diagnose/reconfigure when enabled); with -json
+// the breakdown is embedded in the document as "stage_stats".
+//
+// -diagnose localizes every modeled fault of the augmented chip by
+// adaptive test selection and -reconfigure (implies -diagnose)
+// reschedules the assay around each diagnosed suspect set; the results
+// print as summary sections and land in the JSON document's
+// "diagnosis"/"reconfiguration" blocks.
 //
 // Exit codes: 0 full success; 1 error; 2 usage; 3 degraded result
 // (a fallback tier produced the configuration, the search was
@@ -53,6 +62,9 @@ func run() int {
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the best result so far is emitted")
 		injectStr = flag.String("inject", "", "force faults in the augmentation chain, e.g. exact:timeout,heuristic:panic (degradation drills)")
 		workers   = flag.Int("workers", 0, "fault-simulation and ILP worker-pool size (0 = all CPU cores)")
+		diagnose  = flag.Bool("diagnose", false, "run adaptive fault diagnosis over the final test set")
+		reconf    = flag.Bool("reconfigure", false, "reschedule the assay around every diagnosed suspect set (implies -diagnose)")
+		budget    = flag.Int("diagnose-budget", 0, "max vectors the adaptive/greedy diagnosis tiers may apply per fault (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -77,12 +89,15 @@ func run() int {
 	defer stop()
 
 	res, err := dft.RunCtx(ctx, c, a, core.Options{
-		Outer:   pso.Config{Particles: *particles, Iterations: *iters},
-		Inner:   pso.Config{Particles: *particles, Iterations: 8},
-		Seed:    *seed,
-		UseILP:  *useILP,
-		Inject:  inject,
-		Workers: *workers,
+		Outer:          pso.Config{Particles: *particles, Iterations: *iters},
+		Inner:          pso.Config{Particles: *particles, Iterations: 8},
+		Seed:           *seed,
+		UseILP:         *useILP,
+		Inject:         inject,
+		Workers:        *workers,
+		Diagnose:       *diagnose,
+		DiagnoseBudget: *budget,
+		Reconfigure:    *reconf,
 	})
 	if err != nil {
 		return cliutil.Fail(tool, err)
@@ -165,6 +180,23 @@ func run() int {
 	fmt.Printf("  DFT, PSO-optimized     : %5d s\n", res.ExecPSO)
 	fmt.Printf("  DFT, independent ctrl  : %5d s\n", res.ExecIndependent)
 	fmt.Printf("flow runtime: %v\n", res.Runtime)
+
+	if d := res.Diagnosis; d != nil {
+		fmt.Println()
+		fmt.Println("== adaptive diagnosis ==")
+		fmt.Printf("  %d/%d faults localized, %.1f vectors/fault mean (max %d) vs %d exhaustive\n",
+			d.Localized, d.Faults, d.MeanVectors, d.MaxVectors, d.ExhaustiveVectors)
+		fmt.Printf("  suspect sets: %.2f mean, %d max; %d degraded diagnoses\n",
+			d.MeanSuspects, d.MaxSuspects, d.Degraded)
+	}
+	if r := res.Reconfiguration; r != nil {
+		fmt.Println()
+		fmt.Println("== test-around-fault reconfiguration ==")
+		fmt.Printf("  %d/%d ban groups feasible (%d infeasible, %d failed, %d relaxed)\n",
+			r.Feasible, r.Groups, r.Infeasible, r.Failed, r.Relaxed)
+		fmt.Printf("  penalty: %.1f s mean, %d s max over baseline %d s\n",
+			r.MeanPenalty, r.MaxPenalty, r.Baseline)
+	}
 
 	if *stats {
 		fmt.Println()

@@ -3,7 +3,8 @@
 // and fault-simulates every stuck-at-0/1 defect against every vector,
 // printing the detection matrix and the final coverage.
 //
-//	faultsim -chip RA30_chip [-matrix] [-baseline] [-leakage] [-timeout 30s] [-workers 4] [-stats]
+//	faultsim -chip RA30_chip [-matrix] [-baseline] [-leakage] [-diagnose] [-reconfigure]
+//	         [-assay PID] [-budget 8] [-min-coverage 0.95] [-timeout 30s] [-workers 4] [-stats]
 //
 // The campaign runs on the parallel memoized engine; -workers sizes the
 // worker pool (default: all CPU cores). Coverage output is bit-identical
@@ -13,18 +14,36 @@
 // the cut vectors rerun through the sparse pressure engine to report
 // which closed-valve leaks a threshold meter actually registers.
 //
-// Exit codes: 0 success; 1 error; 2 usage; 4 cancelled (Ctrl-C, SIGTERM
-// or -timeout expired before the campaign finished).
+// -diagnose appends an adaptive fault-diagnosis stage: every modeled
+// fault is localized by greedily applying the test vector with maximal
+// expected information gain (best split of the surviving candidate set),
+// through the diagnose-adaptive → diagnose-greedy → diagnose-replay
+// chain; -budget caps the vectors the adaptive/greedy tiers may apply
+// per fault (0 = unlimited). -reconfigure (implies -diagnose) then
+// reschedules the -assay around every diagnosed suspect set with the
+// suspect valves banned, reporting the execution-time penalty per
+// distinct ban group or a typed infeasibility.
+//
+// -min-coverage sets a coverage floor in [0,1]: when the single-source
+// single-meter campaign detects a smaller fraction of the modeled
+// faults, the run exits with the degraded code (3) instead of 0, so CI
+// and scripts can gate on test quality without parsing output.
+//
+// Exit codes: 0 success; 1 error; 2 usage; 3 coverage below the
+// -min-coverage floor; 4 cancelled (Ctrl-C, SIGTERM or -timeout expired
+// before the campaign finished).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/dft"
 	"repro/internal/cliutil"
+	"repro/internal/diagnose"
 	"repro/internal/fault"
 	"repro/internal/flowstage"
 	"repro/internal/report"
@@ -46,11 +65,28 @@ func run() int {
 		workers  = flag.Int("workers", 0, "fault-simulation, pressure-solve and ILP worker-pool size (0 = all CPU cores)")
 		stats    = flag.Bool("stats", false, "report the per-stage breakdown of the campaign (incl. memo-cache hit rate)")
 		leakage  = flag.Bool("leakage", false, "quantify membrane-leakage detectability of the cut vectors on the sparse pressure engine")
+		diag     = flag.Bool("diagnose", false, "adaptively localize every fault with information-gain test selection")
+		reconf   = flag.Bool("reconfigure", false, "reschedule the assay around every diagnosed suspect set (implies -diagnose)")
+		assay    = flag.String("assay", "IVD", "assay to reconfigure around located faults (IVD, PID or CPA)")
+		budget   = flag.Int("budget", 0, "max vectors the adaptive/greedy diagnosis tiers may apply per fault (0 = unlimited)")
+		minCov   = flag.Float64("min-coverage", 0, "exit with code 3 when coverage falls below this fraction in [0,1]")
 	)
 	flag.Parse()
+	if *minCov < 0 || *minCov > 1 {
+		return cliutil.Usagef(tool, "-min-coverage %v outside [0,1]", *minCov)
+	}
+	if *reconf {
+		*diag = true
+	}
 	c, err := cliutil.LoadChip(*chipName, "")
 	if err != nil {
 		return cliutil.Usagef(tool, "%v", err)
+	}
+	var asy *dft.Assay
+	if *reconf {
+		if asy, err = cliutil.LoadAssay(*assay, ""); err != nil {
+			return cliutil.Usagef(tool, "%v", err)
+		}
 	}
 	fmt.Println("chip:", c)
 
@@ -68,6 +104,9 @@ func run() int {
 		faults  []dft.Fault
 		cov     dft.Coverage
 		leakRep *dft.LeakageReport
+		dm      *dft.DetectionMatrix
+		diags   []dft.FaultDiagnosis
+		groups  []diagnose.SetReconfig
 	)
 	memoInto := func(st *flowstage.StageStats, base fault.MetricsSnapshot) {
 		d := metrics.Snapshot().Sub(base)
@@ -139,6 +178,65 @@ func run() int {
 			},
 		})
 	}
+	if *diag {
+		pipe.Stages = append(pipe.Stages, flowstage.Stage{
+			Name: "diagnose",
+			Run: func(ctx context.Context, st *flowstage.StageStats) error {
+				base := metrics.Snapshot()
+				defer memoInto(st, base)
+				var err error
+				dm, err = dft.NewEngine(sim, *workers).DetectionMatrix(ctx, vectors, faults)
+				if err != nil {
+					return err
+				}
+				planner := &diagnose.Planner{Matrix: dm, VectorBudget: *budget}
+				diags, err = planner.Campaign(ctx, *workers)
+				if err != nil {
+					return err
+				}
+				localized, applied := 0, 0
+				for _, d := range diags {
+					if d.Localized() {
+						localized++
+					}
+					if d.Result != nil {
+						applied += d.Result.VectorsApplied()
+					}
+				}
+				st.Count("diagnose_faults", int64(len(diags)))
+				st.Count("diagnose_localized", int64(localized))
+				st.Count("diagnose_vectors_applied", int64(applied))
+				st.Count("diagnose_exhaustive", int64(dm.NumUsable()))
+				return nil
+			},
+		})
+	}
+	if *reconf {
+		pipe.Stages = append(pipe.Stages, flowstage.Stage{
+			Name: "reconfigure",
+			Run: func(ctx context.Context, st *flowstage.StageStats) error {
+				sets := make([][]dft.Fault, 0, len(diags))
+				for _, d := range diags {
+					if d.Result != nil && len(d.Result.Suspects) > 0 {
+						sets = append(sets, d.Result.Suspects)
+					}
+				}
+				r := &diagnose.Reconfigurer{
+					Chip:  aug.Chip,
+					Ctrl:  dft.IndependentControl(aug.Chip),
+					Assay: asy,
+				}
+				var err error
+				groups, err = r.Campaign(ctx, sets, *workers)
+				if err != nil {
+					return err
+				}
+				st.Count("reconf_sets", int64(len(sets)))
+				st.Count("reconf_groups", int64(len(groups)))
+				return nil
+			},
+		})
+	}
 	pstats, err := pipe.Run(ctx)
 	if err != nil {
 		if *stats {
@@ -183,6 +281,62 @@ func run() int {
 		}
 	}
 
+	if diags != nil {
+		localized, applied, maxApplied, suspects, maxSuspects, degraded := 0, 0, 0, 0, 0, 0
+		for _, d := range diags {
+			if d.Localized() {
+				localized++
+			}
+			if d.Provenance.Degraded {
+				degraded++
+			}
+			if d.Result == nil {
+				continue
+			}
+			v := d.Result.VectorsApplied()
+			applied += v
+			if v > maxApplied {
+				maxApplied = v
+			}
+			ns := len(d.Result.Suspects)
+			suspects += ns
+			if ns > maxSuspects {
+				maxSuspects = ns
+			}
+		}
+		fmt.Printf("\nadaptive diagnosis: %d/%d faults localized, %.1f vectors/fault mean (max %d) vs %d exhaustive, %.2f suspects/fault mean (max %d), %d degraded\n",
+			localized, len(diags), float64(applied)/float64(len(diags)), maxApplied,
+			dm.NumUsable(), float64(suspects)/float64(len(diags)), maxSuspects, degraded)
+	}
+
+	if groups != nil {
+		feasible, infeasible, failed, maxPen := 0, 0, 0, 0
+		totPen, baselineT := 0, 0
+		for _, g := range groups {
+			switch {
+			case g.Err == nil && g.Reconfig != nil:
+				feasible++
+				totPen += g.Reconfig.Penalty
+				if g.Reconfig.Penalty > maxPen {
+					maxPen = g.Reconfig.Penalty
+				}
+				baselineT = g.Reconfig.Baseline
+			case errors.Is(g.Err, diagnose.ErrInfeasible):
+				infeasible++
+				fmt.Printf("  INFEASIBLE: ban closed %v open %v\n", g.BanClosed, g.BanOpen)
+			default:
+				failed++
+				fmt.Printf("  FAILED: ban closed %v open %v: %v\n", g.BanClosed, g.BanOpen, g.Err)
+			}
+		}
+		meanPen := 0.0
+		if feasible > 0 {
+			meanPen = float64(totPen) / float64(feasible)
+		}
+		fmt.Printf("\ntest-around-fault reconfiguration (%s): %d/%d ban groups feasible (%d infeasible, %d failed), penalty mean %.1f s / max %d s over baseline %d s\n",
+			asy.Name, feasible, len(groups), infeasible, failed, meanPen, maxPen, baselineT)
+	}
+
 	if *baseline {
 		bp, bc, err := dft.BaselineVectors(c)
 		if err != nil {
@@ -212,6 +366,10 @@ func run() int {
 		fmt.Println()
 		fmt.Println("== stage breakdown ==")
 		report.WriteStatsTable(os.Stdout, pstats)
+	}
+	if cov.Ratio() < *minCov {
+		fmt.Fprintf(os.Stderr, "%s: coverage %.3f below -min-coverage %.3f\n", tool, cov.Ratio(), *minCov)
+		return cliutil.ExitDegraded
 	}
 	return cliutil.ExitOK
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/control"
 	"repro/internal/core"
+	"repro/internal/diagnose"
 	"repro/internal/fault"
 	"repro/internal/flowstage"
 	"repro/internal/grid"
@@ -208,6 +209,46 @@ func NewEngine(sim *fault.Simulator, workers int) *Engine {
 type (
 	LeakageReport  = fault.LeakageReport
 	LeakageOptions = fault.LeakageOptions
+)
+
+// Diagnosis and reconfiguration surface (set Options.Diagnose /
+// Options.Reconfigure to run them as flow stages, or drive the engines
+// directly).
+type (
+	// DetectionMatrix is the dense (vector, fault) detection relation the
+	// adaptive diagnosis engine selects tests from; build one with
+	// Engine.DetectionMatrix.
+	DetectionMatrix = fault.DetectionMatrix
+	// DiagnosisPlanner runs the adaptive → greedy → replay diagnosis
+	// chain for one fault or a whole campaign.
+	DiagnosisPlanner = diagnose.Planner
+	// DiagnosisResult is one localized fault: ranked suspects, the
+	// applied vectors and per-step entropy statistics.
+	DiagnosisResult = diagnose.Result
+	// FaultDiagnosis pairs a campaign fault with its diagnosis outcome
+	// and chain provenance.
+	FaultDiagnosis = diagnose.FaultDiagnosis
+	// Reconfigurer reschedules an assay around located faults through the
+	// reconf-strict → reconf-reroute → reconf-relaxed chain.
+	Reconfigurer = diagnose.Reconfigurer
+	// Reconfiguration is a validated fault-avoiding schedule with its
+	// execution-time penalty against the fault-free baseline.
+	Reconfiguration = diagnose.Reconfiguration
+	// DiagnosisSummary and ReconfigSummary are the flow-level aggregates
+	// (Result.Diagnosis / Result.Reconfiguration).
+	DiagnosisSummary = core.DiagnosisSummary
+	ReconfigSummary  = core.ReconfigSummary
+)
+
+// Sentinel errors of the diagnosis/reconfiguration engines.
+var (
+	// ErrDiagnoseBudget reports an adaptive/greedy diagnosis that ran out
+	// of vector budget before converging (the chain then falls through to
+	// exhaustive replay).
+	ErrDiagnoseBudget = diagnose.ErrBudget
+	// ErrReconfigInfeasible reports a suspect set whose bans leave no
+	// valid schedule at any reconfiguration tier.
+	ErrReconfigInfeasible = diagnose.ErrInfeasible
 )
 
 // QuantifyLeakage reruns the cut vectors through the quantitative

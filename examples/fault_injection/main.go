@@ -2,13 +2,17 @@
 // the RA30 chip for single-source single-meter test, then plays the role
 // of the test equipment: it manufactures a batch of virtual chips — some
 // defect-free, some with a seeded stuck-at-0 or stuck-at-1 defect — and
-// applies the generated vector set to each, reporting which chips the test
-// rejects and which defect each vector catches.
+// screens the whole batch in one parallel engine campaign, reporting
+// which chips the test rejects and which vector catches each defect.
+// A rejected chip is then handed to the adaptive diagnosis engine, which
+// localizes the defect by applying only the most informative vectors —
+// far fewer than replaying the whole test program.
 //
 //	go run ./examples/fault_injection
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,24 +43,34 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Screen the whole batch in one campaign: the parallel engine builds
+	// the (vector, fault) detection matrix, so every virtual chip's
+	// verdict is a row lookup instead of a fresh simulation.
+	ctx := context.Background()
+	engine := dft.NewEngine(sim, 0)
+	faults := dft.AllFaults(aug.Chip)
+	matrix, err := engine.DetectionMatrix(ctx, vectors, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// The batch: one good chip plus one chip per possible defect.
 	type unit struct {
 		name  string
-		fault *dft.Fault
+		fault int // index into faults, -1 = defect-free
 	}
-	batch := []unit{{name: "chip-000 (defect-free)"}}
-	for _, f := range dft.AllFaults(aug.Chip) {
-		f := f
-		batch = append(batch, unit{name: fmt.Sprintf("chip-%v", f), fault: &f})
+	batch := []unit{{name: "chip-000 (defect-free)", fault: -1}}
+	for i, f := range faults {
+		batch = append(batch, unit{name: fmt.Sprintf("chip-%v", f), fault: i})
 	}
 
 	rejected := 0
 	for _, u := range batch {
 		verdict := "PASS"
 		caughtBy := ""
-		if u.fault != nil {
+		if u.fault >= 0 {
 			for i, v := range vectors {
-				if sim.Detects(v, *u.fault) {
+				if matrix.Detects(i, u.fault) {
 					verdict = "REJECT"
 					caughtBy = fmt.Sprintf("vector #%d (%v)", i, v.Kind)
 					break
@@ -68,7 +82,7 @@ func main() {
 			if rejected <= 5 { // print a few, summarize the rest
 				fmt.Printf("%-28s %-7s caught by %s\n", u.name, verdict, caughtBy)
 			}
-		} else if u.fault == nil {
+		} else if u.fault < 0 {
 			fmt.Printf("%-28s %-7s (all %d vectors read as expected)\n", u.name, verdict, len(vectors))
 		} else {
 			fmt.Printf("%-28s %-7s DEFECT ESCAPED!\n", u.name, verdict)
@@ -77,9 +91,37 @@ func main() {
 	fmt.Printf("...\nbatch of %d: %d defective chips rejected, %d escaped\n",
 		len(batch), rejected, len(batch)-1-rejected)
 
-	cov := sim.EvaluateCoverage(vectors, dft.AllFaults(aug.Chip))
+	cov, err := engine.EvaluateCoverageCtx(ctx, vectors, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("fault coverage: %v\n", cov)
 	if !cov.Full() {
 		log.Fatal("coverage must be complete")
 	}
+
+	// Rejecting a chip tells you it is broken; diagnosis tells you where.
+	// The adaptive engine localizes every seeded defect by applying only
+	// the vector with the best expected split of the surviving suspects,
+	// instead of replaying the whole program.
+	fmt.Println("\nadaptive diagnosis of the rejected chips:")
+	planner := &dft.DiagnosisPlanner{Matrix: matrix}
+	diags, err := planner.Campaign(ctx, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	localized, applied, shown := 0, 0, 0
+	for _, d := range diags {
+		if d.Localized() {
+			localized++
+		}
+		applied += d.Result.VectorsApplied()
+		if shown < 3 {
+			shown++
+			fmt.Printf("  chip-%-22v -> %d vectors applied, suspects %v\n",
+				d.Fault, d.Result.VectorsApplied(), d.Result.Suspects)
+		}
+	}
+	fmt.Printf("  ...\n  %d/%d defects localized with %.1f vectors/chip on average (exhaustive replay: %d)\n",
+		localized, len(diags), float64(applied)/float64(len(diags)), matrix.NumUsable())
 }

@@ -52,9 +52,19 @@ const (
 	// StageFinalize decodes the chosen configuration: unoptimized-sharing
 	// baseline, control assignment, schedules, repaired vectors, Result.
 	StageFinalize = "finalize"
+	// StageDiagnose (optional, Options.Diagnose) runs the adaptive
+	// fault-diagnosis campaign over the final test set: every modeled
+	// fault is localized to its minimal suspect set via the
+	// diagnose-adaptive → diagnose-greedy → diagnose-replay chain.
+	StageDiagnose = "diagnose"
+	// StageReconfigure (optional, Options.Reconfigure) reschedules the
+	// assay around every diagnosed suspect set through the reconf-strict →
+	// reconf-reroute → reconf-relaxed chain.
+	StageReconfigure = "reconfigure"
 )
 
-// StageNames lists the pipeline's stages in execution order.
+// StageNames lists the always-on pipeline stages in execution order (the
+// optional diagnose/reconfigure stages are appended when enabled).
 var StageNames = []string{StageSchedule, StageReference, StageBanLoop, StageOuter, StageFinalize}
 
 // Options tunes the DFT flow.
@@ -73,10 +83,25 @@ type Options struct {
 	UseILP bool
 	// Seed makes the whole flow deterministic.
 	Seed int64
-	// Inject forces deterministic faults in the augmentation degradation
-	// chain (fault-injection drills and tests). Tier names: "exact",
-	// "heuristic", "repair".
+	// Inject forces deterministic faults in the flow's degradation chains
+	// (fault-injection drills and tests). Tier names route by prefix:
+	// "diagnose-*" to the diagnosis chain, "reconf-*" to the
+	// reconfiguration chain, everything else ("exact", "heuristic",
+	// "repair") to the augmentation chain. Targeting a disabled stage's
+	// chain is a usage error (ErrUnknownInjectionTier).
 	Inject []solve.Injection
+	// Diagnose appends the adaptive fault-diagnosis stage: after
+	// finalize, every modeled fault is localized against the final test
+	// set and the campaign summary lands in Result.Diagnosis.
+	Diagnose bool
+	// DiagnoseBudget caps the vectors the adaptive and greedy diagnosis
+	// tiers may apply per fault (0 = unlimited); exceeding it degrades
+	// the chain down to the exhaustive replay tier.
+	DiagnoseBudget int
+	// Reconfigure appends the test-around-fault reconfiguration stage
+	// (implies Diagnose): the assay is rescheduled around every diagnosed
+	// suspect set and the summary lands in Result.Reconfiguration.
+	Reconfigure bool
 	// ExactBudget caps the exact-ILP augmentation tier's wall-clock time
 	// (0 = solve.DefaultExactBudget). Only meaningful with UseILP.
 	ExactBudget time.Duration
@@ -105,6 +130,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Inner.Iterations == 0 {
 		o.Inner.Iterations = 8
+	}
+	if o.Reconfigure {
+		o.Diagnose = true
 	}
 	return o
 }
@@ -165,6 +193,17 @@ type Result struct {
 	// cut vectors to evaluate.
 	Leakage *fault.LeakageReport
 
+	// Diagnosis summarizes the adaptive fault-diagnosis campaign. nil
+	// unless Options.Diagnose — or when the context died before the
+	// stage could run (the flow then skips diagnosis gracefully and
+	// marks the result Interrupted instead of failing).
+	Diagnosis *DiagnosisSummary
+	// Reconfiguration summarizes the test-around-fault reconfiguration
+	// campaign. nil unless Options.Reconfigure, and nil whenever
+	// Diagnosis is (reconfiguration consumes the diagnosed suspect
+	// sets).
+	Reconfiguration *ReconfigSummary
+
 	// Interrupted is true when the flow's context expired or was
 	// cancelled before the search finished; the result is then valid but
 	// less optimized than a full run's.
@@ -197,6 +236,12 @@ type flow struct {
 	memoBase fault.MetricsSnapshot
 
 	execOriginal int
+
+	// diagInject and reconfInject are the Options.Inject entries routed
+	// (by tier-name prefix) to the optional diagnosis and reconfiguration
+	// chains; f.opts.Inject keeps only the augmentation-chain entries.
+	diagInject   []solve.Injection
+	reconfInject []solve.Injection
 
 	// allowPartial permits DFT valves without a sharing partner (own
 	// control line). Off during the main search — the paper requires full
@@ -254,25 +299,44 @@ func RunDFTFlow(c *chip.Chip, g *assay.Graph, opts Options) (*Result, error) {
 func RunDFTFlowCtx(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
+	augInject, diagInject, reconfInject := solve.SplitInjections(opts.Inject)
+	if len(diagInject) > 0 && !opts.Diagnose {
+		return nil, fmt.Errorf("%w: %q (diagnosis stage not enabled)",
+			solve.ErrUnknownInjectionTier, diagInject[0].Tier)
+	}
+	if len(reconfInject) > 0 && !opts.Reconfigure {
+		return nil, fmt.Errorf("%w: %q (reconfiguration stage not enabled)",
+			solve.ErrUnknownInjectionTier, reconfInject[0].Tier)
+	}
+	opts.Inject = augInject
 	f := &flow{
-		ctx:        ctx,
-		orig:       c,
-		graph:      g,
-		opts:       opts,
-		obs:        opts.Observer,
-		metrics:    fault.NewMetrics(),
-		augCache:   map[string]*augEval{},
-		innerCache: map[evalCacheKey]float64{},
+		ctx:          ctx,
+		orig:         c,
+		graph:        g,
+		opts:         opts,
+		obs:          opts.Observer,
+		metrics:      fault.NewMetrics(),
+		diagInject:   diagInject,
+		reconfInject: reconfInject,
+		augCache:     map[string]*augEval{},
+		innerCache:   map[evalCacheKey]float64{},
+	}
+	stages := []flowstage.Stage{
+		{Name: StageSchedule, Run: f.runScheduleStage},
+		{Name: StageReference, Run: f.runReferenceStage},
+		{Name: StageBanLoop, Run: f.runBanLoopStage},
+		{Name: StageOuter, Run: f.runOuterStage},
+		{Name: StageFinalize, Run: f.runFinalizeStage},
+	}
+	if opts.Diagnose {
+		stages = append(stages, flowstage.Stage{Name: StageDiagnose, Run: f.runDiagnoseStage})
+	}
+	if opts.Reconfigure {
+		stages = append(stages, flowstage.Stage{Name: StageReconfigure, Run: f.runReconfigureStage})
 	}
 	pipe := &flowstage.Pipeline{
 		Observer: f.obs,
-		Stages: []flowstage.Stage{
-			{Name: StageSchedule, Run: f.runScheduleStage},
-			{Name: StageReference, Run: f.runReferenceStage},
-			{Name: StageBanLoop, Run: f.runBanLoopStage},
-			{Name: StageOuter, Run: f.runOuterStage},
-			{Name: StageFinalize, Run: f.runFinalizeStage},
-		},
+		Stages:   stages,
 	}
 	stats, err := pipe.Run(ctx)
 	if err != nil {

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/diagnose"
+	"repro/internal/fault"
+	"repro/internal/flowstage"
+	"repro/internal/solve"
+)
+
+// DiagnosisSummary aggregates the adaptive fault-diagnosis campaign over
+// the final test set: how tightly each modeled fault was localized and
+// how many test applications that cost, against the exhaustive-replay
+// baseline.
+type DiagnosisSummary struct {
+	// Faults is the campaign size (every stuck-at-0/1 fault of the
+	// augmented chip).
+	Faults int
+	// Localized counts faults whose true identity ended up among the
+	// suspects.
+	Localized int
+	// ExhaustiveVectors is what an exhaustive replay applies per fault —
+	// the baseline the adaptive engine is measured against.
+	ExhaustiveVectors int
+	// TotalVectors, MaxVectors and MeanVectors summarize the applied
+	// vector counts across the campaign.
+	TotalVectors int
+	MaxVectors   int
+	MeanVectors  float64
+	// MaxSuspects and MeanSuspects summarize the suspect-set sizes (1.0
+	// mean = every fault uniquely identified).
+	MaxSuspects  int
+	MeanSuspects float64
+	// Degraded counts faults whose diagnosis fell past the adaptive tier
+	// (vector budget or injected faults).
+	Degraded int
+	// Entries is the full per-fault detail, in fault order.
+	Entries []diagnose.FaultDiagnosis
+}
+
+// runDiagnoseStage builds the detection matrix of the final test set
+// under the chosen sharing scheme and runs the diagnosis campaign: every
+// modeled fault is localized through the adaptive → greedy → replay
+// chain. A context that dies before or during the campaign skips the
+// stage gracefully (Result.Diagnosis stays nil, the result is marked
+// Interrupted) — an interrupted flow still returns the finalize stage's
+// complete Result.
+func (f *flow) runDiagnoseStage(ctx context.Context, st *flowstage.StageStats) error {
+	f.enterStage(st)
+	defer f.leaveStage(st)
+	obs := f.observer()
+	res := f.final.Get()
+
+	skip := func() error {
+		st.Count("diagnose_skipped", 1)
+		res.Interrupted = true
+		return nil
+	}
+	if ctx.Err() != nil {
+		return skip()
+	}
+
+	c := res.Aug.Chip
+	sim, err := f.newSimulator(c, res.Control)
+	if err != nil {
+		return err
+	}
+	vectors := append(append([]fault.Vector{}, res.PathVectors...), res.CutVectors...)
+	m, err := fault.NewEngine(sim, f.opts.Workers).DetectionMatrix(ctx, vectors, fault.AllFaults(c))
+	if err != nil {
+		if ctx.Err() != nil {
+			return skip()
+		}
+		return fmt.Errorf("core: detection matrix failed on %s: %w", c.Name, err)
+	}
+
+	planner := &diagnose.Planner{
+		Matrix:       m,
+		VectorBudget: f.opts.DiagnoseBudget,
+		Inject:       f.diagInject,
+		OnAttempt: func(att solve.Attempt) {
+			st.Count("diagnose_chain_attempts", 1)
+			obs.ChainAttempt(st.Name, att.Tier, att.Name, string(att.Reason), att.Elapsed)
+		},
+	}
+	diags, err := planner.Campaign(ctx, f.opts.Workers)
+	if err != nil {
+		if ctx.Err() != nil {
+			return skip()
+		}
+		return fmt.Errorf("core: diagnosis campaign failed on %s: %w", c.Name, err)
+	}
+
+	sum := &DiagnosisSummary{
+		Faults:            len(diags),
+		ExhaustiveVectors: m.NumUsable(),
+		Entries:           diags,
+	}
+	totSuspects := 0
+	for _, d := range diags {
+		if d.Localized() {
+			sum.Localized++
+		}
+		if d.Provenance.Degraded {
+			sum.Degraded++
+		}
+		if d.Result == nil {
+			continue
+		}
+		v := d.Result.VectorsApplied()
+		sum.TotalVectors += v
+		if v > sum.MaxVectors {
+			sum.MaxVectors = v
+		}
+		ns := len(d.Result.Suspects)
+		totSuspects += ns
+		if ns > sum.MaxSuspects {
+			sum.MaxSuspects = ns
+		}
+	}
+	if len(diags) > 0 {
+		sum.MeanVectors = float64(sum.TotalVectors) / float64(len(diags))
+		sum.MeanSuspects = float64(totSuspects) / float64(len(diags))
+	}
+
+	st.Count("diagnose_faults", int64(sum.Faults))
+	st.Count("diagnose_localized", int64(sum.Localized))
+	st.Count("diagnose_vectors_applied", int64(sum.TotalVectors))
+	st.Count("diagnose_exhaustive", int64(sum.ExhaustiveVectors))
+	st.Count("diagnose_degraded", int64(sum.Degraded))
+	res.Diagnosis = sum
+	return nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/flowstage"
+	"repro/internal/pso"
+	"repro/internal/solve"
+)
+
+// fastDiagnoseOpts returns small-but-real flow options with the optional
+// stages enabled.
+func fastDiagnoseOpts() Options {
+	return Options{
+		Outer:       pso.Config{Particles: 4, Iterations: 6},
+		Inner:       pso.Config{Particles: 4, Iterations: 4},
+		Seed:        7,
+		Diagnose:    true,
+		Reconfigure: true,
+	}
+}
+
+// The full flow with diagnosis and reconfiguration enabled must localize
+// every fault and reconfigure (or prove infeasible) every suspect set,
+// with the new stages' counters visible in the stats.
+func TestFlowDiagnoseReconfigureStages(t *testing.T) {
+	rec := &flowstage.Recorder{}
+	opts := fastDiagnoseOpts()
+	opts.Observer = rec
+	res, err := RunDFTFlow(chip.IVD(), assay.IVD(), opts)
+	if err != nil {
+		t.Fatalf("RunDFTFlow: %v", err)
+	}
+	if res.Diagnosis == nil || res.Reconfiguration == nil {
+		t.Fatal("missing diagnosis/reconfiguration blocks")
+	}
+	d := res.Diagnosis
+	if d.Localized != d.Faults {
+		t.Fatalf("localized %d of %d faults", d.Localized, d.Faults)
+	}
+	if d.MaxVectors >= d.ExhaustiveVectors {
+		t.Fatalf("adaptive max %d vectors >= exhaustive %d: no saving", d.MaxVectors, d.ExhaustiveVectors)
+	}
+	r := res.Reconfiguration
+	if r.Groups == 0 || r.Feasible+r.Infeasible+r.Failed != r.Groups {
+		t.Fatalf("inconsistent reconfiguration summary %+v", r)
+	}
+	if r.Failed != 0 {
+		t.Fatalf("%d untyped reconfiguration failures", r.Failed)
+	}
+	// Stage stats must carry the new stages with their counters.
+	var sawDiag, sawReconf bool
+	for _, st := range res.Stats.Stages {
+		switch st.Name {
+		case StageDiagnose:
+			sawDiag = true
+			if st.Counter("diagnose_faults") != int64(d.Faults) || st.Counter("diagnose_localized") != int64(d.Localized) {
+				t.Fatalf("diagnose counters inconsistent: %v", st.Counters)
+			}
+		case StageReconfigure:
+			sawReconf = true
+			if st.Counter("reconf_groups") != int64(r.Groups) {
+				t.Fatalf("reconf counters inconsistent: %v", st.Counters)
+			}
+		}
+	}
+	if !sawDiag || !sawReconf {
+		t.Fatal("optional stages missing from stats")
+	}
+	// Observer saw the stage boundaries and chain attempts.
+	events := rec.Events()
+	var sawStart, sawChain bool
+	for _, e := range events {
+		if e == "start:"+StageDiagnose {
+			sawStart = true
+		}
+		if e == "chain:"+StageDiagnose+":0:diagnose-adaptive:ok" {
+			sawChain = true
+		}
+	}
+	if !sawStart || !sawChain {
+		t.Fatalf("observer missed diagnose events (start=%v chain=%v)", sawStart, sawChain)
+	}
+}
+
+// Without the options the optional stages must not run: base StageNames
+// only, nil blocks.
+func TestFlowWithoutDiagnoseUnchanged(t *testing.T) {
+	opts := fastDiagnoseOpts()
+	opts.Diagnose, opts.Reconfigure = false, false
+	res, err := RunDFTFlow(chip.IVD(), assay.IVD(), opts)
+	if err != nil {
+		t.Fatalf("RunDFTFlow: %v", err)
+	}
+	if res.Diagnosis != nil || res.Reconfiguration != nil {
+		t.Fatal("optional blocks present without the options")
+	}
+	if len(res.Stats.Stages) != len(StageNames) {
+		t.Fatalf("%d stages, want %d", len(res.Stats.Stages), len(StageNames))
+	}
+}
+
+// Injections targeting the optional chains without the stages enabled
+// are usage errors; with the stages enabled they must ride the chain.
+func TestFlowInjectionRouting(t *testing.T) {
+	inject, err := solve.ParseInjections("diagnose-adaptive:timeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastDiagnoseOpts()
+	opts.Diagnose, opts.Reconfigure = false, false
+	opts.Inject = inject
+	if _, err := RunDFTFlow(chip.IVD(), assay.IVD(), opts); !errors.Is(err, solve.ErrUnknownInjectionTier) {
+		t.Fatalf("err %v, want ErrUnknownInjectionTier", err)
+	}
+
+	// Enabled: the injected timeout degrades every diagnosis to greedy,
+	// and an injected reconf panic degrades reconfiguration — the flow
+	// still completes.
+	opts = fastDiagnoseOpts()
+	opts.Inject, err = solve.ParseInjections("diagnose-adaptive:timeout,reconf-strict:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDFTFlow(chip.IVD(), assay.IVD(), opts)
+	if err != nil {
+		t.Fatalf("RunDFTFlow with injections: %v", err)
+	}
+	if res.Diagnosis.Degraded != res.Diagnosis.Faults {
+		t.Fatalf("injected timeout should degrade all %d diagnoses, got %d", res.Diagnosis.Faults, res.Diagnosis.Degraded)
+	}
+	if res.Diagnosis.Localized != res.Diagnosis.Faults {
+		t.Fatal("degraded diagnoses must still localize")
+	}
+	if res.Reconfiguration.Feasible > 0 && res.Reconfiguration.Degraded != res.Reconfiguration.Feasible {
+		t.Fatalf("injected strict panic should degrade all feasible groups: %+v", res.Reconfiguration)
+	}
+}
+
+// A context that dies before the optional stages must skip them
+// gracefully: complete Result, nil blocks, Interrupted set — never an
+// error. The stages are driven directly so the cancellation point is
+// deterministic.
+func TestFlowDiagnoseSkippedOnDeadCtx(t *testing.T) {
+	opts := fastDiagnoseOpts()
+	opts.Diagnose, opts.Reconfigure = false, false
+	res, err := RunDFTFlow(chip.IVD(), assay.IVD(), opts)
+	if err != nil {
+		t.Fatalf("RunDFTFlow: %v", err)
+	}
+	f := &flow{
+		orig:    chip.IVD(),
+		graph:   assay.IVD(),
+		opts:    fastDiagnoseOpts().withDefaults(),
+		metrics: fault.NewMetrics(),
+	}
+	f.final.Set(res)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stD := flowstage.StageStats{Name: StageDiagnose}
+	if err := f.runDiagnoseStage(ctx, &stD); err != nil {
+		t.Fatalf("diagnose stage must skip, not fail: %v", err)
+	}
+	if res.Diagnosis != nil || !res.Interrupted || stD.Counter("diagnose_skipped") != 1 {
+		t.Fatalf("diagnose not skipped gracefully (block=%v interrupted=%v counter=%d)",
+			res.Diagnosis, res.Interrupted, stD.Counter("diagnose_skipped"))
+	}
+	stR := flowstage.StageStats{Name: StageReconfigure}
+	if err := f.runReconfigureStage(ctx, &stR); err != nil {
+		t.Fatalf("reconfigure stage must skip, not fail: %v", err)
+	}
+	if res.Reconfiguration != nil || stR.Counter("reconf_skipped") != 1 {
+		t.Fatal("reconfigure not skipped gracefully")
+	}
+	// Even with a live context, reconfigure must skip when diagnosis was
+	// skipped (it consumes the suspect sets).
+	stR2 := flowstage.StageStats{Name: StageReconfigure}
+	if err := f.runReconfigureStage(context.Background(), &stR2); err != nil {
+		t.Fatalf("reconfigure without diagnosis must skip, not fail: %v", err)
+	}
+	if res.Reconfiguration != nil || stR2.Counter("reconf_skipped") != 1 {
+		t.Fatal("reconfigure did not skip without diagnosis")
+	}
+}

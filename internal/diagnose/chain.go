@@ -1,0 +1,155 @@
+// The diagnosis degradation chain: adaptive selection first, a statically
+// ordered greedy pass when that fails, and an exhaustive replay as the
+// tier of last resort. The chain reuses solve.Runner, so per-tier fault
+// injection (-inject diagnose-adaptive:timeout,...), panic recovery and
+// provenance all behave exactly like the augmentation chain's.
+package diagnose
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/solve"
+)
+
+// Tier names of the diagnosis chain, usable in -inject specs.
+const (
+	TierAdaptive = solve.DiagnoseTierPrefix + "adaptive"
+	TierGreedy   = solve.DiagnoseTierPrefix + "greedy"
+	TierReplay   = solve.DiagnoseTierPrefix + "replay"
+)
+
+// Planner configures diagnosis runs over one detection matrix. The zero
+// budget means unlimited; a positive VectorBudget caps how many vectors
+// the adaptive and greedy tiers may apply (physical test applications
+// cost real time on a chip under test), while the replay tier always
+// ignores it — guaranteed localization in exchange for the full test
+// set.
+type Planner struct {
+	Matrix *fault.DetectionMatrix
+	// VectorBudget caps applied vectors per tier (0 = unlimited). A tier
+	// that exhausts the budget before the candidate set stops splitting
+	// fails with ErrBudget and the chain degrades.
+	VectorBudget int
+	// Inject lists deterministic tier faults (see solve.Injection); tiers
+	// are matched by the Tier* names. An injected "infeasible" manifests
+	// as ErrBudget — the tier's own infeasibility.
+	Inject []solve.Injection
+	// OnAttempt, when non-nil, observes every tier attempt.
+	OnAttempt func(solve.Attempt)
+}
+
+// Chain builds the three-tier runner for one chip under test.
+func (p *Planner) Chain(oracle Oracle) *solve.Runner[*Result] {
+	return &solve.Runner[*Result]{
+		Tiers: []solve.TierSpec[*Result]{
+			{Tier: 0, Name: TierAdaptive, Run: func(ctx context.Context) (*Result, error) {
+				return p.adaptive(ctx, oracle)
+			}},
+			{Tier: 1, Name: TierGreedy, Run: func(ctx context.Context) (*Result, error) {
+				return p.greedy(ctx, oracle)
+			}},
+			{Tier: 2, Name: TierReplay, Run: func(ctx context.Context) (*Result, error) {
+				return p.replay(ctx, oracle)
+			}},
+		},
+		Inject:        p.Inject,
+		InfeasibleErr: ErrBudget,
+		OnAttempt:     p.OnAttempt,
+	}
+}
+
+// Run diagnoses one chip under test through the degradation chain.
+func (p *Planner) Run(ctx context.Context, oracle Oracle) (solve.Outcome[*Result], error) {
+	return p.Chain(oracle).Run(ctx)
+}
+
+// adaptive applies, at every step, the unapplied vector with the best
+// guaranteed candidate-set shrink (max min(d, n-d), ties to the lowest
+// index) until no vector splits the candidates. Budget exhaustion before
+// convergence is ErrBudget.
+func (p *Planner) adaptive(ctx context.Context, oracle Oracle) (*Result, error) {
+	s := NewSession(p.Matrix, oracle)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, score := s.BestSplit()
+		if score == 0 {
+			return s.Result(), nil
+		}
+		if p.VectorBudget > 0 && len(s.order) >= p.VectorBudget {
+			return nil, ErrBudget
+		}
+		s.Apply(v)
+	}
+}
+
+// greedy applies vectors in a statically precomputed order — sorted by
+// the split score each vector has against the FULL fault set, best first,
+// ties to the lowest index — with no per-step re-scoring. Cheaper than
+// adaptive (one sort instead of a scan per step) but blind to the
+// observations, so it usually needs more applications; with a budget it
+// degrades to replay more often.
+func (p *Planner) greedy(ctx context.Context, oracle Oracle) (*Result, error) {
+	m := p.Matrix
+	total := m.NumFaults()
+	type scored struct{ v, score int }
+	order := make([]scored, 0, m.NumVectors())
+	for v := 0; v < m.NumVectors(); v++ {
+		if !m.Usable(v) {
+			continue
+		}
+		d := m.RowPopCount(v)
+		if d > total-d {
+			d = total - d
+		}
+		if d > 0 {
+			order = append(order, scored{v, d})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].v < order[j].v
+	})
+	s := NewSession(m, oracle)
+	for _, sc := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, best := s.BestSplit(); best == 0 {
+			return s.Result(), nil
+		}
+		if p.VectorBudget > 0 && len(s.order) >= p.VectorBudget {
+			return nil, ErrBudget
+		}
+		s.Apply(sc.v)
+	}
+	if _, best := s.BestSplit(); best != 0 {
+		// Budget never hit but the static order ran dry with candidates
+		// still splittable (cannot happen: the order contains every
+		// splitting vector) — classify as budget exhaustion regardless.
+		return nil, ErrBudget
+	}
+	return s.Result(), nil
+}
+
+// replay applies every usable vector in index order — the exhaustive
+// baseline. It ignores the vector budget and always converges to the
+// true fault's full signature-equivalence class, so the chain never
+// exhausts for lack of budget.
+func (p *Planner) replay(ctx context.Context, oracle Oracle) (*Result, error) {
+	s := NewSession(p.Matrix, oracle)
+	for v := 0; v < p.Matrix.NumVectors(); v++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if p.Matrix.Usable(v) {
+			s.Apply(v)
+		}
+	}
+	return s.Result(), nil
+}

@@ -1,0 +1,218 @@
+package diagnose
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/solve"
+)
+
+// Reconfiguring around every single stuck-at fault on IVD must either
+// produce a validated fault-avoiding schedule with a non-negative
+// penalty or a typed infeasibility — never a panic, never a zero value.
+func TestReconfigureEverySingleFault(t *testing.T) {
+	c := chip.IVD()
+	r := &Reconfigurer{Chip: c, Assay: assay.IVD()}
+	feasible := 0
+	for _, f := range fault.AllFaults(c) {
+		out, err := r.Run(context.Background(), []fault.Fault{f})
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("%v: untyped failure %v", f, err)
+			}
+			continue
+		}
+		rec := out.Value
+		if rec == nil {
+			t.Fatalf("%v: nil reconfiguration on success", f)
+		}
+		if rec.Penalty < 0 || rec.ExecutionTime != rec.Baseline+rec.Penalty {
+			t.Fatalf("%v: inconsistent penalty %+v", f, rec)
+		}
+		feasible++
+	}
+	if feasible == 0 {
+		t.Fatal("no fault was reconfigurable around on IVD")
+	}
+	t.Logf("IVD: %d/%d single faults reconfigured around", feasible, len(fault.AllFaults(c)))
+}
+
+// seriesAssayChip builds the sched tests' line chip: the only M->D route
+// is a single chain of valves, so bans there have forced consequences.
+func lineChipAssay(t *testing.T) (*chip.Chip, *assay.Graph) {
+	t.Helper()
+	b := chip.NewBuilder("line", 6, 3)
+	b.AddDevice(chip.Mixer, "M", chipXY(1, 1))
+	b.AddDevice(chip.Detector, "D", chipXY(4, 1))
+	b.AddPort("P0", chipXY(0, 1))
+	b.AddPort("P1", chipXY(5, 1))
+	b.AddChannel(chipXY(0, 1), chipXY(1, 1), chipXY(2, 1), chipXY(3, 1), chipXY(4, 1), chipXY(5, 1))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := assay.New("mini")
+	m := g.AddOp(assay.Mix, "m", 10)
+	d := g.AddOp(assay.Detect, "d", 5)
+	g.AddDep(m, d)
+	return c, g
+}
+
+// A stuck-closed valve on the only route is provably infeasible: the
+// chain must exhaust with a typed error carrying full provenance.
+func TestReconfigureInfeasibleTyped(t *testing.T) {
+	c, g := lineChipAssay(t)
+	v, ok := c.ValveOnEdge(mustEdge(t, c, 2, 1, 3, 1))
+	if !ok {
+		t.Fatal("route edge unvalved")
+	}
+	r := &Reconfigurer{Chip: c, Assay: g, Params: sched.Params{MaxTime: 3600}}
+	out, err := r.Run(context.Background(), []fault.Fault{{Kind: fault.StuckAt0, Valve: v}})
+	if err == nil {
+		t.Fatal("expected infeasibility")
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err %v, want ErrInfeasible", err)
+	}
+	if len(out.Attempts) != 3 {
+		t.Fatalf("expected all 3 tiers attempted, got %d", len(out.Attempts))
+	}
+	for _, att := range out.Attempts {
+		if att.Reason != solve.ReasonInfeasible {
+			t.Fatalf("tier %s reason %s, want infeasible", att.Name, att.Reason)
+		}
+	}
+}
+
+// A stuck-open stub next to the only route defeats the strict and
+// reroute tiers (the seal requirement is unsatisfiable) but the relaxed
+// tier accepts the contamination risk and schedules; the result must be
+// flagged Relaxed with degraded provenance.
+func TestReconfigureRelaxedTier(t *testing.T) {
+	c, g := lineChipAssay(t)
+	stub, err := c.AddDFTChannel(mustEdge(t, c, 2, 1, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Reconfigurer{Chip: c, Assay: g, Params: sched.Params{MaxTime: 3600}}
+	out, err := r.Run(context.Background(), []fault.Fault{{Kind: fault.StuckAt1, Valve: stub}})
+	if err != nil {
+		t.Fatalf("relaxed tier should rescue: %v", err)
+	}
+	if out.Name != TierRelaxed || !out.Degraded || !out.Value.Relaxed {
+		t.Fatalf("expected degraded relaxed result, got %q degraded=%v relaxed=%v", out.Name, out.Degraded, out.Value.Relaxed)
+	}
+}
+
+// An injected panic at the strict tier must be recovered and the chain
+// must continue to reroute, exactly like the augmentation chain.
+func TestReconfigureInjectedPanic(t *testing.T) {
+	c := chip.IVD()
+	inject, err := solve.ParseInjections("reconf-strict:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Reconfigurer{Chip: c, Assay: assay.IVD(), Inject: inject}
+	out, err := r.Run(context.Background(), []fault.Fault{{Kind: fault.StuckAt0, Valve: 0}})
+	if err != nil {
+		t.Fatalf("chain should survive injected panic: %v", err)
+	}
+	if out.Name != TierReroute || !out.Degraded {
+		t.Fatalf("expected reroute result after panic, got %q", out.Name)
+	}
+	if out.Attempts[0].Reason != solve.ReasonPanic {
+		t.Fatalf("first attempt reason %s, want panic", out.Attempts[0].Reason)
+	}
+}
+
+// Campaign groups suspect sets by identical bans and is worker-count
+// invariant.
+func TestReconfigureCampaignDedupe(t *testing.T) {
+	c := chip.IVD()
+	r := &Reconfigurer{Chip: c, Assay: assay.IVD()}
+	sets := [][]fault.Fault{
+		{{Kind: fault.StuckAt0, Valve: 2}},
+		{{Kind: fault.StuckAt1, Valve: 3}},
+		{{Kind: fault.StuckAt0, Valve: 2}}, // duplicate of set 0
+		{{Kind: fault.Leakage, Valve: 3}},  // same ban as set 1 (stuck open)
+	}
+	groups, err := r.Campaign(context.Background(), sets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("expected 2 groups, got %d", len(groups))
+	}
+	if !reflect.DeepEqual(groups[0].Members, []int{0, 2}) || !reflect.DeepEqual(groups[1].Members, []int{1, 3}) {
+		t.Fatalf("bad grouping: %v / %v", groups[0].Members, groups[1].Members)
+	}
+	for _, workers := range []int{2, 8} {
+		r2 := &Reconfigurer{Chip: c, Assay: assay.IVD()}
+		again, err := r2.Campaign(context.Background(), sets, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(groups) {
+			t.Fatalf("workers=%d: group count differs", workers)
+		}
+		for g := range groups {
+			if !reflect.DeepEqual(again[g].Members, groups[g].Members) ||
+				!reflect.DeepEqual(again[g].Reconfig, groups[g].Reconfig) {
+				t.Fatalf("workers=%d: group %d differs", workers, g)
+			}
+		}
+	}
+}
+
+// End to end: diagnose every fault on IVD, reconfigure around every
+// suspect set. Signature-equivalent faults must share one group, and
+// every group must end feasible or typed-infeasible.
+func TestDiagnoseThenReconfigure(t *testing.T) {
+	c := chip.IVD()
+	m := buildMatrix(t, c, 0)
+	diags, err := (&Planner{Matrix: m}).Campaign(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([][]fault.Fault, len(diags))
+	for i, d := range diags {
+		sets[i] = d.Result.Suspects
+	}
+	r := &Reconfigurer{Chip: c, Assay: assay.IVD()}
+	groups, err := r.Campaign(context.Background(), sets, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) >= len(sets) {
+		t.Fatalf("no dedupe: %d groups for %d sets", len(groups), len(sets))
+	}
+	feasible := 0
+	for _, g := range groups {
+		if g.Err != nil {
+			if !errors.Is(g.Err, ErrInfeasible) {
+				t.Fatalf("group %v: untyped failure %v", g.Members, g.Err)
+			}
+			continue
+		}
+		feasible++
+	}
+	t.Logf("IVD: %d suspect sets -> %d ban groups, %d feasible", len(sets), len(groups), feasible)
+	if feasible == 0 {
+		t.Fatal("nothing reconfigurable")
+	}
+}
+
+func mustEdge(t *testing.T, c *chip.Chip, x1, y1, x2, y2 int) int {
+	t.Helper()
+	e, ok := c.Grid.EdgeBetweenCoords(chipXY(x1, y1), chipXY(x2, y2))
+	if !ok {
+		t.Fatalf("no edge (%d,%d)-(%d,%d)", x1, y1, x2, y2)
+	}
+	return e
+}

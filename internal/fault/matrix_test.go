@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// matrixFixture builds a campaign (chip, vectors, faults) for matrix tests.
+func matrixFixture(t *testing.T) (*Simulator, []Vector, []Fault) {
+	t.Helper()
+	c := chip.IVD()
+	vectors := BenchCampaignVectors(c)
+	if len(vectors) == 0 {
+		t.Fatal("no campaign vectors for IVD")
+	}
+	sim, err := NewSimulator(c, chip.IndependentControl(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, vectors, AllFaults(c)
+}
+
+// TestDetectionMatrixMatchesDetects checks every matrix cell against the
+// scalar Detects oracle and the usable flags against FaultFreeOK.
+func TestDetectionMatrixMatchesDetects(t *testing.T) {
+	sim, vectors, faults := matrixFixture(t)
+	m, err := NewEngine(sim, 0).DetectionMatrix(context.Background(), vectors, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVectors() != len(vectors) || m.NumFaults() != len(faults) {
+		t.Fatalf("matrix %dx%d, want %dx%d", m.NumVectors(), m.NumFaults(), len(vectors), len(faults))
+	}
+	for v := range vectors {
+		if m.Usable(v) != sim.FaultFreeOK(vectors[v]) {
+			t.Fatalf("vector %d: usable=%v, FaultFreeOK=%v", v, m.Usable(v), sim.FaultFreeOK(vectors[v]))
+		}
+		for f := range faults {
+			want := m.Usable(v) && sim.Detects(vectors[v], faults[f])
+			if got := m.Detects(v, f); got != want {
+				t.Fatalf("cell (%d,%d): got %v want %v", v, f, got, want)
+			}
+		}
+	}
+}
+
+// TestDetectionMatrixWorkerCountInvariant proves the matrix is
+// bit-identical for 1/2/4/8 workers.
+func TestDetectionMatrixWorkerCountInvariant(t *testing.T) {
+	sim, vectors, faults := matrixFixture(t)
+	ref, err := NewEngine(sim, 1).DetectionMatrix(context.Background(), vectors, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		m, err := NewEngine(sim, workers).DetectionMatrix(context.Background(), vectors, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range vectors {
+			if m.Usable(v) != ref.Usable(v) {
+				t.Fatalf("workers=%d: usable[%d] differs", workers, v)
+			}
+			rw, rr := m.Row(v), ref.Row(v)
+			for w := range rw {
+				if rw[w] != rr[w] {
+					t.Fatalf("workers=%d: row %d word %d differs", workers, v, w)
+				}
+			}
+		}
+	}
+}
+
+// TestDetectionMatrixUnusableVectorRowIsZero: a vector that misbehaves on
+// the good chip must detect nothing.
+func TestDetectionMatrixUnusableVectorRowIsZero(t *testing.T) {
+	c := chip.IVD()
+	sim, err := NewSimulator(c, chip.IndependentControl(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A path vector with no opened valves delivers no pressure: unusable.
+	src, mtr := c.MaxDistantPortPair()
+	bad := Vector{Kind: PathVector, Sources: []int{src}, Meters: []int{mtr}}
+	if sim.FaultFreeOK(bad) {
+		t.Skip("degenerate vector unexpectedly usable on this chip")
+	}
+	m, err := NewEngine(sim, 0).DetectionMatrix(context.Background(), []Vector{bad}, AllFaults(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Usable(0) {
+		t.Fatal("unusable vector reported usable")
+	}
+	if n := m.RowPopCount(0); n != 0 {
+		t.Fatalf("unusable vector detects %d faults, want 0", n)
+	}
+	if m.NumUsable() != 0 {
+		t.Fatalf("NumUsable=%d, want 0", m.NumUsable())
+	}
+}
+
+// TestDetectionMatrixCancelled: an expired context fails the build.
+func TestDetectionMatrixCancelled(t *testing.T) {
+	sim, vectors, faults := matrixFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewEngine(sim, 4).DetectionMatrix(ctx, vectors, faults); err == nil {
+		t.Fatal("expected context error")
+	}
+}

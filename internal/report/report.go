@@ -26,9 +26,46 @@ type Document struct {
 	// Leakage, when present, summarizes the quantitative leakage campaign
 	// over the final cut vectors (sparse pressure engine).
 	Leakage *LeakageInfo `json:"leakage,omitempty"`
+	// Diagnosis, when present, summarizes the adaptive fault-diagnosis
+	// campaign over the final test set.
+	Diagnosis *DiagnosisInfo `json:"diagnosis,omitempty"`
+	// Reconfiguration, when present, summarizes the test-around-fault
+	// reconfiguration campaign over the diagnosed suspect sets.
+	Reconfiguration *ReconfigInfo `json:"reconfiguration,omitempty"`
 	// Stats, when present, is the flow's per-stage runtime breakdown
 	// (populated by the CLIs' -stats flag; see BuildStats).
 	Stats *StatsDocument `json:"stage_stats,omitempty"`
+}
+
+// DiagnosisInfo is the serialized core.DiagnosisSummary: how tightly the
+// adaptive campaign localized each modeled fault and what it cost
+// against the exhaustive-replay baseline.
+type DiagnosisInfo struct {
+	Faults            int     `json:"faults"`
+	Localized         int     `json:"localized"`
+	ExhaustiveVectors int     `json:"exhaustive_vectors"`
+	TotalVectors      int     `json:"total_vectors_applied"`
+	MaxVectors        int     `json:"max_vectors_per_fault"`
+	MeanVectors       float64 `json:"mean_vectors_per_fault"`
+	MaxSuspects       int     `json:"max_suspect_set"`
+	MeanSuspects      float64 `json:"mean_suspect_set"`
+	Degraded          int     `json:"degraded"`
+}
+
+// ReconfigInfo is the serialized core.ReconfigSummary: whether the assay
+// survives each diagnosed fault with the suspects banned, and at what
+// execution-time penalty.
+type ReconfigInfo struct {
+	SuspectSets int     `json:"suspect_sets"`
+	Groups      int     `json:"ban_groups"`
+	Feasible    int     `json:"feasible"`
+	Infeasible  int     `json:"infeasible"`
+	Failed      int     `json:"failed"`
+	Relaxed     int     `json:"relaxed"`
+	Degraded    int     `json:"degraded"`
+	Baseline    int     `json:"baseline_s"`
+	MaxPenalty  int     `json:"max_penalty_s"`
+	MeanPenalty float64 `json:"mean_penalty_s"`
 }
 
 // SolverInfo records the degradation provenance of the flow: which tier
@@ -172,6 +209,33 @@ func Build(res *core.Result) Document {
 			WarmSolves:   l.Solves.Warm,
 		}
 	}
+	if d := res.Diagnosis; d != nil {
+		doc.Diagnosis = &DiagnosisInfo{
+			Faults:            d.Faults,
+			Localized:         d.Localized,
+			ExhaustiveVectors: d.ExhaustiveVectors,
+			TotalVectors:      d.TotalVectors,
+			MaxVectors:        d.MaxVectors,
+			MeanVectors:       d.MeanVectors,
+			MaxSuspects:       d.MaxSuspects,
+			MeanSuspects:      d.MeanSuspects,
+			Degraded:          d.Degraded,
+		}
+	}
+	if r := res.Reconfiguration; r != nil {
+		doc.Reconfiguration = &ReconfigInfo{
+			SuspectSets: r.SuspectSets,
+			Groups:      r.Groups,
+			Feasible:    r.Feasible,
+			Infeasible:  r.Infeasible,
+			Failed:      r.Failed,
+			Relaxed:     r.Relaxed,
+			Degraded:    r.Degraded,
+			Baseline:    r.Baseline,
+			MaxPenalty:  r.MaxPenalty,
+			MeanPenalty: r.MeanPenalty,
+		}
+	}
 	for _, a := range res.Solve.Attempts {
 		doc.Solver.Attempts = append(doc.Solver.Attempts, SolverAttempt{
 			Tier:      a.Tier,
@@ -237,6 +301,14 @@ func Summary(w io.Writer, res *core.Result) {
 		c.Name, res.NumDFTValves, res.NumShared,
 		c.Ports[res.Aug.Source].Name, c.Ports[res.Aug.Meter].Name,
 		res.NumTestVectors, res.ExecOriginal, res.ExecPSO, res.Runtime)
+	if d := res.Diagnosis; d != nil {
+		fmt.Fprintf(w, "diagnosis: %d/%d faults localized, %.1f vectors/fault mean (max %d, exhaustive %d), %.2f suspects/fault mean\n",
+			d.Localized, d.Faults, d.MeanVectors, d.MaxVectors, d.ExhaustiveVectors, d.MeanSuspects)
+	}
+	if r := res.Reconfiguration; r != nil {
+		fmt.Fprintf(w, "reconfiguration: %d/%d ban groups feasible (%d infeasible, %d relaxed), penalty mean %.1f s / max %d s over baseline %d s\n",
+			r.Feasible, r.Groups, r.Infeasible, r.Relaxed, r.MeanPenalty, r.MaxPenalty, r.Baseline)
+	}
 }
 
 // Decode parses a JSON document (for tooling round-trips).

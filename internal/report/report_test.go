@@ -81,6 +81,56 @@ func TestSummaryMentionsKeyNumbers(t *testing.T) {
 	}
 }
 
+// A flow run with diagnosis and reconfiguration enabled must surface
+// both blocks in the document and the summary; without the options the
+// keys are omitted entirely.
+func TestDiagnosisBlocksRoundTrip(t *testing.T) {
+	res, err := core.RunDFTFlow(chip.IVD(), assay.IVD(), core.Options{
+		Outer:       pso.Config{Particles: 3, Iterations: 4},
+		Inner:       pso.Config{Particles: 3, Iterations: 4},
+		Seed:        11,
+		Diagnose:    true,
+		Reconfigure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnosis"`) || !strings.Contains(buf.String(), `"reconfiguration"`) {
+		t.Fatal("JSON missing diagnosis/reconfiguration blocks")
+	}
+	doc, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Diagnosis == nil || doc.Diagnosis.Faults != res.Diagnosis.Faults ||
+		doc.Diagnosis.Localized != res.Diagnosis.Localized {
+		t.Fatalf("diagnosis round trip: %+v vs %+v", doc.Diagnosis, res.Diagnosis)
+	}
+	if doc.Reconfiguration == nil || doc.Reconfiguration.Groups != res.Reconfiguration.Groups ||
+		doc.Reconfiguration.Feasible != res.Reconfiguration.Feasible {
+		t.Fatalf("reconfiguration round trip: %+v vs %+v", doc.Reconfiguration, res.Reconfiguration)
+	}
+	var sum bytes.Buffer
+	Summary(&sum, res)
+	if !strings.Contains(sum.String(), "diagnosis:") || !strings.Contains(sum.String(), "reconfiguration:") {
+		t.Fatalf("summary missing diagnosis lines: %q", sum.String())
+	}
+
+	// Without the options the keys must be absent.
+	plain := flowResult(t)
+	buf.Reset()
+	if err := WriteJSON(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"diagnosis"`) || strings.Contains(buf.String(), `"reconfiguration"`) {
+		t.Fatal("optional blocks present without the options")
+	}
+}
+
 func TestValidateCatchesCorruption(t *testing.T) {
 	res := flowResult(t)
 	doc := Build(res)

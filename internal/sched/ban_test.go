@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+
+	"repro/internal/assay"
+)
+
+// Banning every IVD valve in turn must yield, for each, either a schedule
+// that provably avoids the banned segment or a clean error — never a panic
+// and never a schedule that touches the fault. This is the substrate the
+// reconfiguration chain builds on.
+func TestBanClosedEveryValve(t *testing.T) {
+	c := chip.IVD()
+	g := assay.IVD()
+	ok := 0
+	for v := 0; v < c.NumValves(); v++ {
+		sch, err := Run(c, nil, g, Params{BanClosed: []int{v}})
+		if err != nil {
+			continue
+		}
+		if err := ValidateScheduleAvoids(c, g, sch, []int{v}, nil); err != nil {
+			t.Fatalf("valve %d: %v", v, err)
+		}
+		ok++
+	}
+	if ok == 0 {
+		t.Fatal("no single valve ban was schedulable on IVD")
+	}
+	t.Logf("IVD: %d/%d single stuck-closed valves schedulable around", ok, c.NumValves())
+}
+
+// On the line chip the only M->D route runs through v2; banning it closed
+// must fail cleanly, not hang or panic.
+func TestBanClosedOnlyRouteFails(t *testing.T) {
+	c := lineChip(t)
+	e, ok := c.Grid.EdgeBetweenCoords(xy(2, 1), xy(3, 1))
+	if !ok {
+		t.Fatal("missing route edge")
+	}
+	v, ok := c.ValveOnEdge(e)
+	if !ok {
+		t.Fatal("route edge unvalved")
+	}
+	if _, err := Run(c, nil, miniAssay(), Params{MaxTime: 3600, BanClosed: []int{v}}); err == nil {
+		t.Fatal("expected unschedulable with the only route banned")
+	}
+}
+
+// A stuck-open stub valve next to the route must be rejected (it can never
+// seal, so every passing transport is a contamination hazard) unless the
+// last-resort RelaxStuckOpenSeal tier accepts the risk.
+func TestBanOpenSealRelaxation(t *testing.T) {
+	c := lineChip(t)
+	e, ok := c.Grid.EdgeBetweenCoords(xy(2, 1), xy(2, 0))
+	if !ok {
+		t.Fatal("missing stub edge")
+	}
+	stub, err := c.AddDFTChannel(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{MaxTime: 3600, BanOpen: []int{stub}}
+	if _, err := Run(c, nil, miniAssay(), p); err == nil {
+		t.Fatal("expected unschedulable with unsealable stub on the route")
+	}
+	p.RelaxStuckOpenSeal = true
+	sch, err := Run(c, nil, miniAssay(), p)
+	if err != nil {
+		t.Fatalf("relaxed tier should schedule: %v", err)
+	}
+	checkSchedule(t, c, miniAssay(), sch)
+}
+
+// Bans do not disturb determinism: same ban, same schedule.
+func TestBanDeterminism(t *testing.T) {
+	c := chip.RA30()
+	g := assay.PID()
+	p := Params{BanClosed: []int{3}, BanOpen: []int{7}}
+	a, errA := Run(c, nil, g, p)
+	b, errB := Run(c, nil, g, p)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("nondeterministic feasibility: %v vs %v", errA, errB)
+	}
+	if errA == nil && a.ExecutionTime != b.ExecutionTime {
+		t.Fatalf("nondeterministic: %d vs %d", a.ExecutionTime, b.ExecutionTime)
+	}
+}
+
+// ValidateScheduleAvoids must reject a schedule whose transport crosses the
+// banned segment (here: the unbanned baseline checked against a ban on an
+// edge it uses).
+func TestValidateScheduleAvoidsRejects(t *testing.T) {
+	c := lineChip(t)
+	g := miniAssay()
+	sch := mustRun(t, c, nil, g)
+	if len(sch.Transports) == 0 || len(sch.Transports[0].Edges) == 0 {
+		t.Fatal("expected a routed transport")
+	}
+	used := sch.Transports[0].Edges[0]
+	v, ok := c.ValveOnEdge(used)
+	if !ok {
+		t.Fatal("transport edge unvalved")
+	}
+	if err := ValidateScheduleAvoids(c, g, sch, []int{v}, nil); err == nil {
+		t.Fatal("expected avoids-violation for schedule crossing banned edge")
+	}
+	if err := ValidateScheduleAvoids(c, g, sch, nil, nil); err != nil {
+		t.Fatalf("no bans should validate: %v", err)
+	}
+}

@@ -39,6 +39,25 @@ type Params struct {
 	// paying this many extra seconds per contaminated segment. 0 disables
 	// the wash model (the default, matching the paper's evaluation).
 	WashTimePerEdge int
+
+	// BanClosed lists valves to treat as stuck closed (stuck-at-0, or a
+	// blocked channel): the guarded segment never conducts, so transports
+	// cannot route through it and fluid cannot be stored in it. This is
+	// the test-around-fault reconfiguration substrate — located faults are
+	// banned and the assay rescheduled around them.
+	BanClosed []int
+	// BanOpen lists valves to treat as stuck open (stuck-at-1, or a
+	// leaking membrane): the guarded segment always conducts and can never
+	// be sealed. Fluid cannot be stored in it, and — unless
+	// RelaxStuckOpenSeal is set — any snapshot that needs the segment
+	// sealed (a transport or stored product adjacent to it) is rejected as
+	// a contamination hazard.
+	BanOpen []int
+	// RelaxStuckOpenSeal accepts snapshots that require a stuck-open valve
+	// sealed, trading contamination risk for schedulability — the
+	// last-resort tier of the reconfiguration chain. It never relaxes
+	// BanClosed routing.
+	RelaxStuckOpenSeal bool
 }
 
 func (p Params) withDefaults() Params {

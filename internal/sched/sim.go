@@ -33,6 +33,15 @@ type simState struct {
 	edgeBusy   []bool // in-flight transport occupancy
 	lastFluid  []int  // per edge: op whose product last wetted it (-1 clean)
 
+	// Fault bans (Params.BanClosed/BanOpen). stuckClosed/stuckOpen are
+	// per-valve; bannedEdge marks the guarded segments no transport may
+	// route through (stuck closed: never conducts) and no product may park
+	// in (either kind: a stuck-closed segment cannot receive fluid, a
+	// stuck-open one cannot seal it).
+	stuckClosed []bool
+	stuckOpen   []bool
+	bannedEdge  []bool
+
 	active []*activeTransport
 
 	doneOps int
@@ -58,6 +67,20 @@ func newSimState(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, p Params) *si
 	for i := range s.lastFluid {
 		s.lastFluid[i] = -1
 	}
+	s.stuckClosed = make([]bool, c.NumValves())
+	s.stuckOpen = make([]bool, c.NumValves())
+	s.bannedEdge = make([]bool, c.Grid.NumEdges())
+	markBan := func(valves []int, state []bool) {
+		for _, v := range valves {
+			if v < 0 || v >= c.NumValves() {
+				continue
+			}
+			state[v] = true
+			s.bannedEdge[c.Valve(v).Edge] = true
+		}
+	}
+	markBan(p.BanClosed, s.stuckClosed)
+	markBan(p.BanOpen, s.stuckOpen)
 	// Priorities: longest path to a leaf (classic list scheduling).
 	prio := make([]int, g.NumOps())
 	order, _ := g.TopoOrder()

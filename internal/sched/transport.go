@@ -111,8 +111,12 @@ func (s *simState) findPath(from, to location, producer int, penalty map[int]flo
 	fromNodes := s.locationNodes(from)
 	toNodes := s.locationNodes(to)
 	weight := func(e int) float64 {
-		if _, valved := s.chip.ValveOnEdge(e); !valved {
+		v, valved := s.chip.ValveOnEdge(e)
+		if !valved {
 			return -1
+		}
+		if s.stuckClosed[v] {
+			return -1 // stuck-closed segment never conducts
 		}
 		if s.edgeBusy[e] {
 			return -1
@@ -280,6 +284,19 @@ func (s *simState) conflictFree(edges []int, from, to location, producer int) bo
 			reqClosed[v] = true
 		}
 	}
+	// Physical bans override control: a stuck-closed valve cannot open no
+	// matter what its line does (routing already avoids it; this guards
+	// the stored-segment insertion paths too), and a stuck-open valve
+	// cannot seal — any snapshot demanding that seal is a contamination
+	// hazard unless the relaxed tier explicitly accepts it.
+	for v := range reqOpen {
+		if reqOpen[v] && s.stuckClosed[v] {
+			return false
+		}
+		if reqClosed[v] && s.stuckOpen[v] && !s.params.RelaxStuckOpenSeal {
+			return false
+		}
+	}
 	// Conflicts: a control line demanded both open and closed by the
 	// constraints above — a path valve whose shared partner must seal an
 	// adjacent branch (the Fig. 6 hazard), two adjacent concurrent
@@ -386,7 +403,8 @@ func (s *simState) pickParkingEdge(fromNode, producer int) (int, bool) {
 		resourceNode[p.Node] = true
 	}
 	dist := g.BFSFrom(fromNode, func(e int) bool {
-		if _, ok := s.chip.ValveOnEdge(e); !ok {
+		v, ok := s.chip.ValveOnEdge(e)
+		if !ok || s.stuckClosed[v] {
 			return false
 		}
 		if s.edgeBusy[e] {
@@ -408,6 +426,11 @@ func (s *simState) pickParkingEdge(fromNode, producer int) (int, bool) {
 		for e := 0; e < g.NumEdges(); e++ {
 			valve, okValve := s.chip.ValveOnEdge(e)
 			if !okValve {
+				continue
+			}
+			if s.bannedEdge[e] {
+				// A stuck-closed segment cannot receive fluid; a stuck-open
+				// one can never seal it in.
 				continue
 			}
 			if len(s.ctrl.SharedWith(valve)) > 0 {
@@ -462,8 +485,8 @@ func (s *simState) parkingKeepsConnectivity(e int) bool {
 		if stored[e2] {
 			return false
 		}
-		_, ok := s.chip.ValveOnEdge(e2)
-		return ok
+		v, ok := s.chip.ValveOnEdge(e2)
+		return ok && !s.stuckClosed[v]
 	}
 	ref := s.chip.Devices[0].Node
 	dist := g.BFSFrom(ref, allow)

@@ -101,6 +101,49 @@ func ValidateSchedule(c *chip.Chip, g *assay.Graph, sch *Schedule) error {
 	return nil
 }
 
+// ValidateScheduleAvoids is ValidateSchedule plus the test-around-fault
+// invariants: no transport may route through the segment of a
+// stuck-closed (banClosed) valve — it never conducts — and no storage
+// move may park fluid in the segment of any banned valve (stuck-closed
+// segments cannot receive fluid; stuck-open segments can never be sealed).
+// The reconfiguration chain runs every candidate schedule through this
+// checker before accepting a tier's result.
+func ValidateScheduleAvoids(c *chip.Chip, g *assay.Graph, sch *Schedule, banClosed, banOpen []int) error {
+	if err := ValidateSchedule(c, g, sch); err != nil {
+		return err
+	}
+	closedEdge := make(map[int]bool, len(banClosed))
+	parkEdge := make(map[int]bool, len(banClosed)+len(banOpen))
+	for _, v := range banClosed {
+		if v >= 0 && v < c.NumValves() {
+			closedEdge[c.Valve(v).Edge] = true
+			parkEdge[c.Valve(v).Edge] = true
+		}
+	}
+	for _, v := range banOpen {
+		if v >= 0 && v < c.NumValves() {
+			parkEdge[c.Valve(v).Edge] = true
+		}
+	}
+	for i, tr := range sch.Transports {
+		for _, e := range tr.Edges {
+			if closedEdge[e] {
+				return fmt.Errorf("sched: transport %d routes through stuck-closed segment %d", i, e)
+			}
+		}
+		if tr.ConsumerOp < 0 && len(tr.Edges) > 0 {
+			// Storage move: the fluid comes to rest in the last path edge
+			// (unless it parked at a port node, in which case the final
+			// segment was only traversed — still forbidden for
+			// stuck-closed edges by the loop above, harmless otherwise).
+			if last := tr.Edges[len(tr.Edges)-1]; parkEdge[last] {
+				return fmt.Errorf("sched: storage move %d parks fluid in banned segment %d", i, last)
+			}
+		}
+	}
+	return nil
+}
+
 func checkResourceKind(c *chip.Chip, op assay.Op, r OpRecord) error {
 	switch op.Kind {
 	case assay.Dispense:

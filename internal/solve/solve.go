@@ -87,6 +87,36 @@ func ParseInjections(spec string) ([]Injection, error) {
 	return out, nil
 }
 
+// Tier-name prefixes of the post-finalize chains. The augmentation chain
+// keeps its unprefixed names ("exact", "heuristic", "repair"); the
+// diagnosis chain's tiers are "diagnose-adaptive", "diagnose-greedy",
+// "diagnose-replay"; the reconfiguration chain's are "reconf-strict",
+// "reconf-reroute", "reconf-relaxed". One CLI -inject spec can therefore
+// target any chain of a flow unambiguously.
+const (
+	DiagnoseTierPrefix = "diagnose-"
+	ReconfigTierPrefix = "reconf-"
+)
+
+// SplitInjections routes a mixed injection list to the chain each entry
+// targets, by tier-name prefix: "diagnose-*" to the diagnosis chain,
+// "reconf-*" to the reconfiguration chain, everything else to the
+// augmentation chain. Each chain's Runner still validates that its
+// injections name tiers it actually has.
+func SplitInjections(inject []Injection) (augment, diagnose, reconfig []Injection) {
+	for _, inj := range inject {
+		switch {
+		case strings.HasPrefix(inj.Tier, DiagnoseTierPrefix):
+			diagnose = append(diagnose, inj)
+		case strings.HasPrefix(inj.Tier, ReconfigTierPrefix):
+			reconfig = append(reconfig, inj)
+		default:
+			augment = append(augment, inj)
+		}
+	}
+	return augment, diagnose, reconfig
+}
+
 // TierSpec describes one tier of a degradation chain.
 type TierSpec[T any] struct {
 	// Tier is the position in the chain (0 = most exact), recorded in

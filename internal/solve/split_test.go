@@ -1,0 +1,33 @@
+package solve
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitInjections(t *testing.T) {
+	in, err := ParseInjections("exact:timeout,diagnose-adaptive:timeout,reconf-strict:panic,heuristic:panic,diagnose-replay:infeasible,reconf-relaxed:infeasible")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, diag, reconf := SplitInjections(in)
+	wantAug := []Injection{{Tier: "exact", Kind: FaultTimeout}, {Tier: "heuristic", Kind: FaultPanic}}
+	wantDiag := []Injection{{Tier: "diagnose-adaptive", Kind: FaultTimeout}, {Tier: "diagnose-replay", Kind: FaultInfeasible}}
+	wantReconf := []Injection{{Tier: "reconf-strict", Kind: FaultPanic}, {Tier: "reconf-relaxed", Kind: FaultInfeasible}}
+	if !reflect.DeepEqual(aug, wantAug) {
+		t.Fatalf("augment injections %v, want %v", aug, wantAug)
+	}
+	if !reflect.DeepEqual(diag, wantDiag) {
+		t.Fatalf("diagnose injections %v, want %v", diag, wantDiag)
+	}
+	if !reflect.DeepEqual(reconf, wantReconf) {
+		t.Fatalf("reconfig injections %v, want %v", reconf, wantReconf)
+	}
+}
+
+func TestSplitInjectionsEmpty(t *testing.T) {
+	aug, diag, reconf := SplitInjections(nil)
+	if aug != nil || diag != nil || reconf != nil {
+		t.Fatalf("want all nil, got %v %v %v", aug, diag, reconf)
+	}
+}
