@@ -5,6 +5,7 @@
 //	bench -ilp [-out BENCH_ilp.json]
 //	bench -pressure [-out BENCH_pressure.json]
 //	bench -diagnose [-out BENCH_diagnose.json]
+//	bench -pso [-out BENCH_pso.json]
 //
 // With -ilp it instead benchmarks the branch-and-bound ILP engine on the
 // paper's test-path and test-cut models of both example chips (see ilp.go).
@@ -15,6 +16,11 @@
 // replay — vectors-to-localize, suspect-set sizes and campaign
 // throughput per design, with a worker-count determinism check (see
 // diagnose.go).
+// With -pso it measures the two-level PSO DFT flow's fitness engine —
+// a serial recomputation leg, the memoized asynchronous engine, and the
+// batch-synchronous engine at 1/2/4/8 workers — per design, with
+// outer-stage wall-clock, cache hit rates and a worker-count
+// determinism check (see pso.go).
 //
 // Three variants run over the same cold campaign (fresh simulator per
 // iteration): the seed's serial recomputation baseline, the memoized
@@ -70,15 +76,16 @@ func run() int {
 	ilpMode := flag.Bool("ilp", false, "benchmark the branch-and-bound ILP engine (seed serial vs parallel at 1/2/4/8 workers) instead of the fault campaign")
 	pressureMode := flag.Bool("pressure", false, "benchmark the node-pressure solvers (dense vs sparse-cold vs sparse-warm vs parallel) per design instead of the fault campaign")
 	diagnoseMode := flag.Bool("diagnose", false, "benchmark adaptive fault diagnosis vs exhaustive replay per design instead of the fault campaign")
+	psoMode := flag.Bool("pso", false, "benchmark the two-level PSO fitness engine (serial recompute vs memoized vs batch at 1/2/4/8 workers) instead of the fault campaign")
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode} {
+	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode, *psoMode} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return cliutil.Usagef(tool, "-ilp, -pressure and -diagnose are mutually exclusive")
+		return cliutil.Usagef(tool, "-ilp, -pressure, -diagnose and -pso are mutually exclusive")
 	}
 	if *ilpMode {
 		return runILP(*outFile)
@@ -88,6 +95,9 @@ func run() int {
 	}
 	if *diagnoseMode {
 		return runDiagnose(*outFile)
+	}
+	if *psoMode {
+		return runPSO(*outFile)
 	}
 
 	c := chip.MRNA()

@@ -1,0 +1,221 @@
+package main
+
+// pso.go is the -pso mode: it measures the two-level PSO DFT flow's
+// fitness engine on every bundled chip/assay combination, in the same
+// serial/memoized/parallel shape as the fault-campaign bench. The legs:
+//
+//   - serial: the asynchronous serial engine with every reuse layer
+//     disabled (Options.PSORecompute) — each outer evaluation re-runs
+//     the inner search, each inner evaluation re-validates and
+//     re-schedules from scratch. This is what the search costs without
+//     the engine, and the denominator of every speedup.
+//   - async-memo: the asynchronous serial engine with the memo caches
+//     consulted (Options.PSOBaseline) — the seed engine as it shipped.
+//     Its result must be bit-identical to serial's (the caches are
+//     pure); the bench asserts that.
+//   - batch-w1/w2/w4/w8: the batch-synchronous engine — memoization,
+//     the incremental revalidation screen, and N-worker generation
+//     evaluation. The report asserts its result — fitness, partner
+//     assignment, added edges — is bit-identical at 1, 2, 4 and 8
+//     workers. On a single-core host the worker legs match batch-w1
+//     wall-clock (the fitness is CPU-bound); the engine's speedup there
+//     comes from reuse, the workers pay off on multicore hosts.
+//
+// The committed BENCH_pso.json is regenerated with:
+//
+//	go run ./cmd/bench -pso -out BENCH_pso.json
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/pso"
+)
+
+// PSODoc is the serialized PSO-engine benchmark report.
+type PSODoc struct {
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Designs    []PSODesign `json:"designs"`
+}
+
+// PSODesign is one chip/assay combination's measurements.
+type PSODesign struct {
+	Chip  string `json:"chip"`
+	Assay string `json:"assay"`
+	// Deterministic records that the batch engine returned a bit-identical
+	// result (ExecPSO, partners, added edges) at 1, 2, 4 and 8 workers.
+	Deterministic bool `json:"deterministic_1_2_4_8_workers"`
+	// MemoPure records that the serial recomputation leg and the memoized
+	// async leg returned bit-identical results — the caches change
+	// wall-clock, never the answer.
+	MemoPure bool `json:"memo_caches_result_identical"`
+	// OuterSpeedup4 is serial-leg outer-stage wall-clock / batch-w4
+	// outer-stage wall-clock — the headline engine gain.
+	OuterSpeedup4 float64     `json:"outer_speedup_serial_vs_w4"`
+	Results       []PSOResult `json:"results"`
+}
+
+// PSOResult is one engine variant's single-flow measurement. An op is a
+// whole DFT flow; the outer stage is where the two-level search (and so
+// the engine under test) spends its time.
+type PSOResult struct {
+	Name      string `json:"name"`
+	OuterNs   int64  `json:"outer_stage_ns"`
+	RuntimeNs int64  `json:"runtime_ns"`
+	ExecPSO   int    `json:"exec_pso"`
+	// OuterEvals / InnerEvals count fitness evaluations at each PSO level.
+	OuterEvals int64 `json:"outer_evals"`
+	InnerEvals int64 `json:"inner_evals"`
+	// Cache hit rates over the outer stage (0 when the cache was idle).
+	AugHitRate   float64 `json:"aug_cache_hit_rate"`
+	InnerHitRate float64 `json:"inner_cache_hit_rate"`
+	// RevalFastpath counts evaluations the revalidation screen settled
+	// with zero simulations (every witness structurally clean),
+	// RevalRecheck those it settled by re-simulating only the dirty
+	// witnesses, and RevalSlowpath those sent to the full repair pass.
+	RevalFastpath int64 `json:"reval_fastpath"`
+	RevalRecheck  int64 `json:"reval_recheck_pass"`
+	RevalSlowpath int64 `json:"reval_slowpath"`
+	// SpeedupVs compares outer-stage wall-clock against the serial leg.
+	SpeedupVs float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// psoBenchOpts keeps one flow to a few seconds on the largest design
+// while still exercising hundreds of inner-swarm generations.
+func psoBenchOpts(workers int, baseline, recompute bool) core.Options {
+	return core.Options{
+		Outer:        pso.Config{Particles: 5, Iterations: 20},
+		Inner:        pso.Config{Particles: 5, Iterations: 8},
+		Seed:         2018,
+		Workers:      workers,
+		PSOBaseline:  baseline,
+		PSORecompute: recompute,
+	}
+}
+
+// psoResultKey canonicalizes the fields that must match across worker
+// counts: the optimized execution time, the partner assignment and the
+// added DFT edges.
+func psoResultKey(res *core.Result) string {
+	return fmt.Sprintf("exec=%d partners=%v edges=%v source=%d meter=%d",
+		res.ExecPSO, res.Partners, res.Aug.AddedEdges, res.Aug.Source, res.Aug.Meter)
+}
+
+func hitRate(c map[string]int64, cache string) float64 {
+	h, m := c[cache+"_hits"], c[cache+"_misses"]
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+func runPSO(outFile string) int {
+	combos := []struct {
+		chip  *chip.Chip
+		assay *assay.Graph
+	}{
+		{chip.IVD(), assay.IVD()},
+		{chip.RA30(), assay.PID()},
+		{chip.MRNA(), assay.CPA()},
+	}
+	variants := []struct {
+		name      string
+		workers   int
+		baseline  bool
+		recompute bool
+	}{
+		{"serial", 1, true, true},
+		{"async-memo", 1, true, false},
+		{"batch-w1", 1, false, false},
+		{"batch-w2", 2, false, false},
+		{"batch-w4", 4, false, false},
+		{"batch-w8", 8, false, false},
+	}
+
+	doc := PSODoc{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, combo := range combos {
+		d := PSODesign{Chip: combo.chip.Name, Assay: combo.assay.Name, Deterministic: true, MemoPure: true}
+		var serialOuter int64
+		serialKey, batchKey := "", ""
+		for _, v := range variants {
+			res, err := core.RunDFTFlow(combo.chip, combo.assay, psoBenchOpts(v.workers, v.baseline, v.recompute))
+			if err != nil {
+				return cliutil.Fail(tool, err)
+			}
+			outer := res.Stats.Stage(core.StageOuter)
+			if outer == nil {
+				return cliutil.Fail(tool, fmt.Errorf("flow reported no outer stage"))
+			}
+			r := PSOResult{
+				Name:          v.name,
+				OuterNs:       outer.Duration.Nanoseconds(),
+				RuntimeNs:     res.Runtime.Nanoseconds(),
+				ExecPSO:       res.ExecPSO,
+				OuterEvals:    outer.Counters["pso_outer_evals"],
+				InnerEvals:    outer.Counters["pso_inner_evals"],
+				AugHitRate:    hitRate(outer.Counters, "aug_cache"),
+				InnerHitRate:  hitRate(outer.Counters, "inner_cache"),
+				RevalFastpath: outer.Counters["reval_fastpath"],
+				RevalRecheck:  outer.Counters["reval_recheck_pass"],
+				RevalSlowpath: outer.Counters["reval_slowpath"],
+			}
+			key := psoResultKey(res)
+			switch {
+			case v.name == "serial":
+				serialOuter = r.OuterNs
+				serialKey = key
+			default:
+				if serialOuter > 0 && r.OuterNs > 0 {
+					r.SpeedupVs = float64(serialOuter) / float64(r.OuterNs)
+				}
+				if v.name == "async-memo" {
+					if key != serialKey {
+						d.MemoPure = false
+					}
+				} else {
+					if v.workers == 4 {
+						d.OuterSpeedup4 = r.SpeedupVs
+					}
+					if batchKey == "" {
+						batchKey = key
+					} else if key != batchKey {
+						d.Deterministic = false
+					}
+				}
+			}
+			d.Results = append(d.Results, r)
+			fmt.Fprintf(os.Stderr, "%-6s %-12s outer %10.1fms  runtime %10.1fms  inner_evals %7d  inner_hit %4.2f  fast/recheck/slow %d/%d/%d\n",
+				combo.chip.Name, v.name, float64(r.OuterNs)/1e6, float64(r.RuntimeNs)/1e6,
+				r.InnerEvals, r.InnerHitRate, r.RevalFastpath, r.RevalRecheck, r.RevalSlowpath)
+		}
+		if !d.Deterministic {
+			return cliutil.Fail(tool, fmt.Errorf("%s: batch engine results differ across worker counts", combo.chip.Name))
+		}
+		if !d.MemoPure {
+			return cliutil.Fail(tool, fmt.Errorf("%s: memo caches changed the async engine's result", combo.chip.Name))
+		}
+		doc.Designs = append(doc.Designs, d)
+	}
+
+	w := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return cliutil.Usagef(tool, "%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return cliutil.Fail(tool, err)
+	}
+	return cliutil.ExitOK
+}

@@ -61,7 +61,7 @@ func run() int {
 		stats     = flag.Bool("stats", false, "report the per-stage runtime breakdown of the flow pipeline")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the best result so far is emitted")
 		injectStr = flag.String("inject", "", "force faults in the augmentation chain, e.g. exact:timeout,heuristic:panic (degradation drills)")
-		workers   = flag.Int("workers", 0, "fault-simulation and ILP worker-pool size (0 = all CPU cores)")
+		workers   = flag.Int("workers", 0, "fault-simulation, ILP and PSO-generation worker-pool size (0 = all CPU cores)")
 		diagnose  = flag.Bool("diagnose", false, "run adaptive fault diagnosis over the final test set")
 		reconf    = flag.Bool("reconfigure", false, "reschedule the assay around every diagnosed suspect set (implies -diagnose)")
 		budget    = flag.Int("diagnose-budget", 0, "max vectors the adaptive/greedy diagnosis tiers may apply per fault (0 = unlimited)")

@@ -59,7 +59,7 @@ func main() {
 		seed      = flag.Int64("seed", 2018, "random seed")
 		useILP    = flag.Bool("ilp", false, "solve the exact augmentation ILP for the reference configuration")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); interrupted runs report their best result so far")
-		workers   = flag.Int("workers", 0, "fault-simulation and ILP worker-pool size (0 = all CPU cores)")
+		workers   = flag.Int("workers", 0, "fault-simulation, ILP and PSO-generation worker-pool size (0 = all CPU cores)")
 		outFile   = flag.String("out", "", "tee the report to FILE as well as stdout (regenerates docs/experiments_output.txt)")
 		stats     = flag.Bool("stats", false, "print each flow's per-stage runtime breakdown to stderr")
 	)

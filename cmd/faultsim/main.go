@@ -62,7 +62,7 @@ func run() int {
 		baseline = flag.Bool("baseline", false, "also run the multi-instrument baseline on the original chip")
 		optimal  = flag.Bool("optimal", false, "use the exact minimum cut-set cover (ILP) instead of the greedy one")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
-		workers  = flag.Int("workers", 0, "fault-simulation, pressure-solve and ILP worker-pool size (0 = all CPU cores)")
+		workers  = flag.Int("workers", 0, "fault-simulation, pressure-solve, ILP and PSO-generation worker-pool size (0 = all CPU cores)")
 		stats    = flag.Bool("stats", false, "report the per-stage breakdown of the campaign (incl. memo-cache hit rate)")
 		leakage  = flag.Bool("leakage", false, "quantify membrane-leakage detectability of the cut vectors on the sparse pressure engine")
 		diag     = flag.Bool("diagnose", false, "adaptively localize every fault with information-gain test selection")

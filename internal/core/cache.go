@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// onceMap is the flow's concurrency-safe content-keyed memoization
+// primitive: a sharded string-keyed map whose entries are computed exactly
+// once. The first caller of Do for a key runs the compute function;
+// concurrent callers for the same key block until it finishes and then
+// share the value, so a cache records exactly one miss per unique key no
+// matter how many workers race on it. Values must be pure functions of
+// their key — then the cache contents (and every hit/miss total) are
+// deterministic for any worker count, which is what keeps the parallel
+// two-level PSO bit-identical to the serial run.
+type onceMap[V any] struct {
+	shards [cacheShards]cacheShard[V]
+}
+
+const cacheShards = 16
+
+type cacheShard[V any] struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+func newOnceMap[V any]() *onceMap[V] {
+	c := &onceMap[V]{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*cacheEntry[V]{}
+	}
+	return c
+}
+
+func (c *onceMap[V]) shard(key string) *cacheShard[V] {
+	// FNV-1a, folded to a shard index.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Do returns the value for key, computing it with compute on first sight.
+// The second result reports whether the value was already present (a cache
+// hit). Concurrent calls for the same key run compute exactly once; the
+// losers block until the winner's compute returns. compute must not call
+// back into Do with the same key.
+func (c *onceMap[V]) Do(key string, compute func() V) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, hit := s.m[key]
+	if !hit {
+		e = &cacheEntry[V]{}
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.val = compute() })
+	return e.val, hit
+}
+
+// Get returns the value stored for key, if any. It must only be called
+// from serial sections of the flow (stage boundaries, post-barrier code):
+// it does not wait for an in-flight compute.
+func (c *onceMap[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	s.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return e.val, true
+}
+
+// Len returns the number of entries across all shards.
+func (c *onceMap[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Range calls fn for every entry until fn returns false. Iteration order
+// is unspecified; like Get, Range belongs in serial sections only.
+func (c *onceMap[V]) Range(fn func(key string, v V) bool) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.m {
+			if !fn(k, e.val) {
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// SortedKeys returns every key in lexicographic order — the deterministic
+// iteration order for selection decisions (bestEvalSeen's tie-break, the
+// partial-sharing retry list).
+func (c *onceMap[V]) SortedKeys() []string {
+	keys := make([]string, 0, c.Len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.m {
+			keys = append(keys, k)
+		}
+		s.mu.Unlock()
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -16,13 +16,27 @@
 // attributable per stage (Result.Stats) and observable live
 // (Options.Observer). The staged pipeline is bit-identical to the
 // original monolithic flow for any fixed seed.
+//
+// Both PSO levels run the batch-synchronous engine: each generation's
+// fitness evaluations fan out over the Options.Workers pool and the
+// pbest/gbest updates apply in particle-index order after a barrier, so
+// the whole flow's Result is bit-identical for any worker count. The
+// fitness caches (augCache per configuration, innerCache per sharing
+// scheme) are concurrency-safe content-keyed once-maps whose values are
+// pure functions of their keys, and each configuration carries an
+// incremental revalidation screen (reval.go) that rechecks a scheme only
+// when a vector whose expansion it changed is load-bearing for coverage.
+// Options.PSOBaseline restores the seed's serial asynchronous engines for
+// A/B benchmarks (cmd/bench -pso).
 package core
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/assay"
@@ -106,11 +120,30 @@ type Options struct {
 	// (0 = solve.DefaultExactBudget). Only meaningful with UseILP.
 	ExactBudget time.Duration
 	// Workers sets the worker-pool size shared by every coverage check in
-	// the flow and by the branch-and-bound search of the exact-ILP tiers
+	// the flow, by the branch-and-bound search of the exact-ILP tiers, and
+	// by both PSO levels' batch-synchronous generation evaluation
 	// (0 = runtime.GOMAXPROCS). Coverage results are bit-identical for any
 	// worker count, and so are exhausted ILP solves (see package ilp for
-	// the exact guarantee).
+	// the exact guarantee) and the PSO trajectories (see package pso) —
+	// the whole Result is worker-count invariant.
 	Workers int
+	// PSOBaseline routes both PSO levels through the seed's serial
+	// asynchronous engine (pso.MinimizeBaselineCtx) and disables the
+	// incremental sharing-scheme revalidation screen — the A/B reference
+	// cmd/bench -pso measures the batch engine against. The baseline
+	// trajectory differs from the batch engine's (asynchronous gbest
+	// updates), so results are comparable in quality, not bit-equal.
+	PSOBaseline bool
+	// PSORecompute disables every reuse layer of the fitness engine — the
+	// sharing-scheme memo is never consulted, a configuration's inner
+	// search is re-run on every encounter, and the revalidation screen is
+	// off — so each evaluation pays its full augment+inner-PSO+schedule
+	// cost. The caches are still populated (the flow's selection logic
+	// reads them) and every value is a pure function of its key, so the
+	// Result is bit-identical with or without this flag; only wall-clock
+	// changes. This is cmd/bench -pso's serial recomputation leg, the
+	// denominator of the engine's speedup — not a mode end users want.
+	PSORecompute bool
 	// Observer receives live pipeline events: stage boundaries, solver
 	// iteration ticks, chain tier transitions, cache-hit deltas. nil
 	// disables observation. Observers never affect the search — results
@@ -214,12 +247,6 @@ type Result struct {
 	CoverageFull bool
 }
 
-// evalCacheKey identifies an (augmentation, sharing) pair.
-type evalCacheKey struct {
-	augKey   string
-	partners string
-}
-
 type flow struct {
 	ctx   context.Context
 	orig  *chip.Chip
@@ -249,8 +276,20 @@ type flow struct {
 	// sharing scheme validates anywhere.
 	allowPartial bool
 
-	augCache   map[string]*augEval
-	innerCache map[evalCacheKey]float64
+	// statMu serializes stage-counter and observer updates that arrive
+	// from the PSO worker goroutines during the search stages. Stage
+	// boundaries themselves are serial (workers are joined at every
+	// generation barrier before a stage ends).
+	statMu sync.Mutex
+
+	// augCache memoizes per-configuration artifacts by content key
+	// (augKey); innerCache memoizes sharing fitnesses by
+	// configuration+partner key. Both are once-maps: concurrent swarm
+	// workers racing on a key compute it exactly once, and since every
+	// value is a pure function of its key the cache contents are
+	// deterministic for any worker count.
+	augCache   *onceMap[*augEval]
+	innerCache *onceMap[float64]
 
 	// Typed artifacts handed between pipeline stages.
 	chainOut flowstage.Artifact[solve.Outcome[*testgen.Augmentation]]
@@ -263,6 +302,7 @@ type flow struct {
 // augEval caches the expensive per-configuration artifacts.
 type augEval struct {
 	aug     *testgen.Augmentation
+	key     string // the augCache content key (augKey(aug))
 	paths   []fault.Vector
 	cuts    []fault.Vector
 	cutsErr error
@@ -273,6 +313,16 @@ type augEval struct {
 	// schemes are penalized only for coverage lost beyond this gap.
 	baselineUndetected int
 
+	// screen is the configuration's incremental revalidation state
+	// (reval.go), built once on first fitness evaluation; nil when
+	// disabled or unavailable.
+	screenOnce sync.Once
+	screen     *sharingScreen
+
+	// mu guards the inner-search fields below: concurrent outer particles
+	// that land on the same configuration serialize on it, so the inner
+	// sub-PSO runs exactly once per configuration.
+	mu           sync.Mutex
 	searched     bool
 	bestFit      float64
 	bestPartners []int
@@ -318,8 +368,8 @@ func RunDFTFlowCtx(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Optio
 		metrics:      fault.NewMetrics(),
 		diagInject:   diagInject,
 		reconfInject: reconfInject,
-		augCache:     map[string]*augEval{},
-		innerCache:   map[evalCacheKey]float64{},
+		augCache:     newOnceMap[*augEval](),
+		innerCache:   newOnceMap[float64](),
 	}
 	stages := []flowstage.Stage{
 		{Name: StageSchedule, Run: f.runScheduleStage},
@@ -391,10 +441,15 @@ func (f *flow) leaveStage(st *flowstage.StageStats) {
 }
 
 // noteCache attributes one flow-level cache lookup to the running stage.
+// Safe to call from PSO worker goroutines: counter updates serialize on
+// statMu (f.cur itself only changes at stage boundaries, when no workers
+// run).
 func (f *flow) noteCache(cache string, hit bool) {
 	if f.cur == nil {
 		return
 	}
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
 	if hit {
 		f.cur.CacheHits++
 		f.cur.Count(cache+"_hits", 1)
@@ -404,9 +459,25 @@ func (f *flow) noteCache(cache string, hit bool) {
 	}
 }
 
+// countStage adds delta to the running stage's named counter; like
+// noteCache it is safe from worker goroutines.
+func (f *flow) countStage(name string, delta int64) {
+	if f.cur == nil || delta == 0 {
+		return
+	}
+	f.statMu.Lock()
+	f.cur.Count(name, delta)
+	f.statMu.Unlock()
+}
+
 // solverTick is the pso.Config.OnIteration adapter: it counts the
 // iteration on the running stage and forwards the tick to the observer.
+// Inner sub-PSO ticks may arrive from outer-swarm worker goroutines;
+// statMu keeps the counter updates and observer emissions serialized
+// (observers never see concurrent calls).
 func (f *flow) solverTick(iteration int, best float64) {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
 	if f.cur != nil {
 		f.cur.SolverIters++
 	}
@@ -425,6 +496,24 @@ func (f *flow) newSimulator(c *chip.Chip, ctrl *chip.Control) (*fault.Simulator,
 	return sim, err
 }
 
+// workers resolves Options.Workers the way the solver engines do: 0
+// selects all CPU cores.
+func (f *flow) workers() int {
+	if f.opts.Workers > 0 {
+		return f.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minimize routes a PSO run through the batch-synchronous engine, or the
+// seed's serial asynchronous baseline when Options.PSOBaseline is set.
+func (f *flow) minimize(ctx context.Context, dim int, fitness func([]float64) float64, cfg pso.Config) pso.Result {
+	if f.opts.PSOBaseline {
+		return pso.MinimizeBaselineCtx(ctx, dim, fitness, cfg)
+	}
+	return pso.MinimizeCtx(ctx, dim, fitness, cfg)
+}
+
 // --- shared search machinery (used by the banloop/outer/finalize stages) ----
 
 // augment produces a DFT configuration for the given edge-weight bias
@@ -435,31 +524,32 @@ func (f *flow) augment(weights []float64) (*testgen.Augmentation, error) {
 }
 
 // evalAug returns the cached per-configuration artifacts, generating paths
-// and cuts on first sight.
+// and cuts on first sight. Concurrent swarm workers that land on the same
+// configuration compute it exactly once (the losers block on the winner);
+// since the artifacts are pure functions of the content key, the cache is
+// deterministic for any worker count.
 func (f *flow) evalAug(aug *testgen.Augmentation) *augEval {
 	key := augKey(aug)
-	if ev, ok := f.augCache[key]; ok {
-		f.noteCache("aug_cache", true)
-		return ev
-	}
-	f.noteCache("aug_cache", false)
-	ev := &augEval{aug: aug, bestFit: math.Inf(1)}
-	ev.paths = aug.PathVectors()
-	ev.cuts, ev.cutsErr = testgen.GenerateCuts(aug.Chip, aug.Source, aug.Meter)
-	if ev.cutsErr != nil && len(aug.Uncovered) > 0 {
-		// Partial repair-tier configuration: a complete stuck-at-1 cover
-		// may be impossible. Keep the paths' coverage instead of failing —
-		// the intrinsic gap is accounted for in baselineUndetected.
-		ev.cuts, ev.cutsErr = nil, nil
-	}
-	if len(aug.Uncovered) > 0 {
-		if sim, err := f.newSimulator(aug.Chip, chip.IndependentControl(aug.Chip)); err == nil {
-			vectors := append(append([]fault.Vector{}, ev.paths...), ev.cuts...)
-			cov := fault.NewEngine(sim, f.opts.Workers).EvaluateCoverage(vectors, fault.AllFaults(aug.Chip))
-			ev.baselineUndetected = len(cov.Undetected)
+	ev, hit := f.augCache.Do(key, func() *augEval {
+		ev := &augEval{aug: aug, key: key, bestFit: math.Inf(1)}
+		ev.paths = aug.PathVectors()
+		ev.cuts, ev.cutsErr = testgen.GenerateCuts(aug.Chip, aug.Source, aug.Meter)
+		if ev.cutsErr != nil && len(aug.Uncovered) > 0 {
+			// Partial repair-tier configuration: a complete stuck-at-1 cover
+			// may be impossible. Keep the paths' coverage instead of failing —
+			// the intrinsic gap is accounted for in baselineUndetected.
+			ev.cuts, ev.cutsErr = nil, nil
 		}
-	}
-	f.augCache[key] = ev
+		if len(aug.Uncovered) > 0 {
+			if sim, err := f.newSimulator(aug.Chip, chip.IndependentControl(aug.Chip)); err == nil {
+				vectors := append(append([]fault.Vector{}, ev.paths...), ev.cuts...)
+				cov := fault.NewEngine(sim, f.opts.Workers).EvaluateCoverage(vectors, fault.AllFaults(aug.Chip))
+				ev.baselineUndetected = len(cov.Undetected)
+			}
+		}
+		return ev
+	})
+	f.noteCache("aug_cache", hit)
 	return ev
 }
 
@@ -470,18 +560,25 @@ func (f *flow) bestSharingFitness(ev *augEval) float64 {
 	if ev.cutsErr != nil {
 		return math.Inf(1)
 	}
-	if ev.searched {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if ev.searched && !f.opts.PSORecompute {
 		return ev.bestFit
 	}
+	// Under PSORecompute the search below re-runs on every encounter; the
+	// inner seed derives from the configuration key, so it reproduces the
+	// same result and the <-guarded updates are idempotent.
 	ev.searched = true
 	nDFT := ev.aug.Chip.NumDFTValves()
 	innerCfg := f.opts.Inner
-	innerCfg.Seed = f.opts.Seed ^ int64(len(augKey(ev.aug))) ^ hashString(augKey(ev.aug))
+	innerCfg.Seed = f.opts.Seed ^ int64(len(ev.key)) ^ hashString(ev.key)
 	innerCfg.OnIteration = f.solverTick
-	res := pso.MinimizeCtx(f.ctx, nDFT, func(x []float64) float64 {
+	innerCfg.Workers = f.workers()
+	res := f.minimize(f.ctx, nDFT, func(x []float64) float64 {
 		partners := f.decodePartners(ev.aug.Chip, x)
 		return f.sharingFitness(ev, partners)
 	}, innerCfg)
+	f.countStage("pso_inner_evals", int64(res.Evaluations))
 	if res.BestFitness < ev.bestFit {
 		ev.bestFit = res.BestFitness
 		ev.bestPartners = f.decodePartners(ev.aug.Chip, res.BestX)
@@ -516,9 +613,15 @@ func (f *flow) decodePartners(c *chip.Chip, x []float64) []int {
 	if f.allowPartial {
 		span = nOrig + 1
 	}
+	nUsed := 0
 	for i, xi := range x {
 		p := pso.MapToPartner(xi, span)
-		if p == nOrig {
+		// Own line when the position selects the partial-sharing slot, or
+		// when no free original line remains — a chip with no original
+		// valves (nOrig == 0, MapToPartner collapses to slot 0 == nOrig)
+		// or more DFT valves than originals would otherwise send the
+		// collision walk below into an endless loop over all-used lines.
+		if p == nOrig || nUsed == nOrig {
 			partners[i] = -1 // own line
 			continue
 		}
@@ -526,6 +629,7 @@ func (f *flow) decodePartners(c *chip.Chip, x []float64) []int {
 			p = (p + 1) % nOrig
 		}
 		used[p] = true
+		nUsed++
 		partners[i] = p
 	}
 	return partners
@@ -533,17 +637,38 @@ func (f *flow) decodePartners(c *chip.Chip, x []float64) []int {
 
 // sharingFitness is the paper's position quality: ∞ if the sharing scheme
 // breaks the test set or the schedule, otherwise the execution time.
+// Memoized per (configuration, partner assignment); swarms revisit
+// schemes constantly, and concurrent workers racing on one compute it
+// exactly once.
 func (f *flow) sharingFitness(ev *augEval, partners []int) float64 {
-	key := evalCacheKey{augKey: augKey(ev.aug), partners: intsKey(partners)}
-	if v, ok := f.innerCache[key]; ok {
-		f.noteCache("inner_cache", true)
-		return v
+	if f.opts.PSORecompute {
+		// Serial recomputation leg: pay the full cost on every call, but
+		// still record the (identical, pure-function) value so the
+		// finalize stage's cache scans see the same population.
+		fit := f.computeSharingFitness(ev, partners)
+		f.innerCache.Do(innerKey(ev, partners), func() float64 { return fit })
+		f.noteCache("inner_cache", false)
+		return fit
 	}
-	f.noteCache("inner_cache", false)
-	fit := f.computeSharingFitness(ev, partners)
-	f.innerCache[key] = fit
+	fit, hit := f.innerCache.Do(innerKey(ev, partners), func() float64 {
+		return f.computeSharingFitness(ev, partners)
+	})
+	f.noteCache("inner_cache", hit)
 	return fit
 }
+
+// innerKey is the innerCache content key of a sharing scheme; the
+// configuration key prefix keeps worstValidSharing's per-configuration
+// scan possible (see innerKeyPrefix).
+func innerKey(ev *augEval, partners []int) string {
+	return innerKeyPrefix(ev) + intsKey(partners)
+}
+
+// innerKeyPrefix returns the key prefix shared by every sharing scheme of
+// one configuration. The "|p" separator cannot occur inside augKey's own
+// structure (path segments start with "|["), so no configuration key is a
+// prefix of another configuration's scheme keys.
+func innerKeyPrefix(ev *augEval) string { return ev.key + "|p" }
 
 // Invalid positions get graded penalties above penaltyBase instead of a
 // flat ∞, so the swarm can climb towards validity (fewer uncovered faults
@@ -564,28 +689,41 @@ func (f *flow) computeSharingFitness(ev *augEval, partners []int) float64 {
 	if err != nil {
 		return math.Inf(1)
 	}
+	// Incremental revalidation (reval.go): when the screen proves the base
+	// vectors keep full coverage under this sharing — structurally, or by
+	// re-simulating only the witnesses the partner change touched — the
+	// full repair pass is provably redundant and is skipped. Fitness
+	// values are bit-identical with and without the screen.
+	full := false
+	if scr := f.screenFor(ev); scr != nil && scr.fullCoverage(f, ctrl, partners) {
+		full = true
+	}
 	// Test validation (Section 4.1): every stuck-at-0 and stuck-at-1 fault
 	// must remain detectable under the sharing. Vectors masked by the
 	// sharing are repaired with sharing-immune replacements ("test vectors
 	// considering valve sharing").
-	rPaths, rCuts, full := testgen.RepairVectors(c, ctrl, ev.aug.Source, ev.aug.Meter, ev.paths, ev.cuts)
 	if !full {
-		sim, simErr := f.newSimulator(c, ctrl)
-		if simErr != nil {
-			return math.Inf(1)
+		f.countStage("reval_slowpath", 1)
+		var rPaths, rCuts []fault.Vector
+		rPaths, rCuts, full = testgen.RepairVectors(c, ctrl, ev.aug.Source, ev.aug.Meter, ev.paths, ev.cuts)
+		if !full {
+			sim, simErr := f.newSimulator(c, ctrl)
+			if simErr != nil {
+				return math.Inf(1)
+			}
+			vectors := append(append([]fault.Vector{}, rPaths...), rCuts...)
+			cov, covErr := fault.NewEngine(sim, f.opts.Workers).EvaluateCoverageCtx(f.ctx, vectors, fault.AllFaults(c))
+			if covErr != nil {
+				// Cancelled mid-campaign: the surrounding PSO is unwinding, so
+				// any finite fitness here would be discarded anyway.
+				return math.Inf(1)
+			}
+			if len(cov.Undetected) > ev.baselineUndetected {
+				return penaltyBase + 1e6*float64(len(cov.Undetected))
+			}
+			// The sharing loses nothing beyond the configuration's intrinsic
+			// gap (partial repair-tier config): judge it on schedulability.
 		}
-		vectors := append(append([]fault.Vector{}, rPaths...), rCuts...)
-		cov, covErr := fault.NewEngine(sim, f.opts.Workers).EvaluateCoverageCtx(f.ctx, vectors, fault.AllFaults(c))
-		if covErr != nil {
-			// Cancelled mid-campaign: the surrounding PSO is unwinding, so
-			// any finite fitness here would be discarded anyway.
-			return math.Inf(1)
-		}
-		if len(cov.Undetected) > ev.baselineUndetected {
-			return penaltyBase + 1e6*float64(len(cov.Undetected))
-		}
-		// The sharing loses nothing beyond the configuration's intrinsic
-		// gap (partial repair-tier config): judge it on schedulability.
 	}
 	// Application validation: the assay must still complete; quality is
 	// its execution time. Wedged schedules are graded by how far they got,
@@ -605,11 +743,16 @@ func (f *flow) computeSharingFitness(ev *augEval, partners []int) float64 {
 
 // bestEvalSeen returns the configuration with the lowest sharing fitness
 // among all configurations evaluated so far (falling back to ref).
+// Iteration follows the lexicographic order of the configuration content
+// keys and only a strictly better fitness displaces the incumbent, so
+// ties resolve deterministically — ref first, then the smallest key —
+// instead of by Go's randomized map order.
 func (f *flow) bestEvalSeen(ref *augEval) *augEval {
 	best := ref
 	bestFit := f.bestSharingFitness(ref)
-	for _, ev := range f.augCache {
-		if !ev.searched {
+	for _, k := range f.augCache.SortedKeys() {
+		ev, ok := f.augCache.Get(k)
+		if !ok || !ev.searched {
 			continue
 		}
 		if ev.bestFit < bestFit {
@@ -629,7 +772,19 @@ func (f *flow) freeEdges() []int {
 	return out
 }
 
-func augKey(aug *testgen.Augmentation) string { return intsKey(aug.AddedEdges) }
+// augKey is the content key of a configuration: the added edges, the test
+// ports and the full path routing. Paths are part of the key because the
+// greedy engine can realize the same edge set with different routings
+// under different weight biases, and cached artifacts must be pure
+// functions of their key for the concurrent caches to stay deterministic.
+func augKey(aug *testgen.Augmentation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%v|s%d|m%d", aug.AddedEdges, aug.Source, aug.Meter)
+	for _, p := range aug.Paths {
+		fmt.Fprintf(&b, "|%v", p)
+	}
+	return b.String()
+}
 
 func intsKey(s []int) string {
 	var b strings.Builder

@@ -188,8 +188,8 @@ func TestFirstValidSharingRotation(t *testing.T) {
 	}
 	f := &flow{
 		orig: c, graph: g, opts: Options{}.withDefaults(),
-		augCache:   map[string]*augEval{},
-		innerCache: map[evalCacheKey]float64{},
+		augCache:   newOnceMap[*augEval](),
+		innerCache: newOnceMap[float64](),
 	}
 	ev := f.evalAug(aug)
 	if ev.cutsErr != nil {

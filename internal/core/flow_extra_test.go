@@ -85,7 +85,7 @@ func TestWorstValidSharing(t *testing.T) {
 	c := chip.IVD()
 	g := assay.CPA()
 	f := &flow{orig: c, graph: g, opts: Options{}.withDefaults(),
-		augCache: map[string]*augEval{}, innerCache: map[evalCacheKey]float64{}}
+		augCache: newOnceMap[*augEval](), innerCache: newOnceMap[float64]()}
 	aug, err := testgen.AugmentHeuristic(c, testgen.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/chip"
 	"repro/internal/fault"
@@ -166,13 +167,14 @@ func (f *flow) firstValidSharing(ev *augEval) (int, []int, error) {
 // validated, the best one's penalty is stripped to recover its schedule
 // length.
 func (f *flow) worstValidSharing(ev *augEval) int {
-	key := augKey(ev.aug)
+	prefix := innerKeyPrefix(ev)
 	worst := -1.0
-	for k, v := range f.innerCache {
-		if k.augKey == key && v < partialBand && v > worst {
+	f.innerCache.Range(func(k string, v float64) bool {
+		if strings.HasPrefix(k, prefix) && v < partialBand && v > worst {
 			worst = v
 		}
-	}
+		return true
+	})
 	if worst < 0 {
 		w := ev.bestFit
 		for w >= partialBand && w < validThreshold {

@@ -4,10 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/flowstage"
-	"repro/internal/pso"
 )
 
 // runOuterStage runs the outer PSO over free-edge bias weights — each
@@ -26,7 +24,8 @@ func (f *flow) runOuterStage(ctx context.Context, st *flowstage.StageStats) erro
 	outerCfg := f.opts.Outer
 	outerCfg.Seed = f.opts.Seed
 	outerCfg.OnIteration = f.solverTick
-	outer := pso.MinimizeCtx(ctx, len(freeEdges), func(x []float64) float64 {
+	outerCfg.Workers = f.workers()
+	outer := f.minimize(ctx, len(freeEdges), func(x []float64) float64 {
 		weights := make([]float64, c.Grid.NumEdges())
 		for i, e := range freeEdges {
 			weights[e] = x[i] * 4 // bias scale
@@ -39,6 +38,8 @@ func (f *flow) runOuterStage(ctx context.Context, st *flowstage.StageStats) erro
 		return f.bestSharingFitness(ev)
 	}, outerCfg)
 	f.outer.Set(outer)
+	st.Count("pso_outer_evals", int64(outer.Evaluations))
+	st.Count("pso_workers", int64(f.workers()))
 
 	// Decode the best configuration.
 	bestWeights := make([]float64, c.Grid.NumEdges())
@@ -60,27 +61,29 @@ func (f *flow) runOuterStage(ctx context.Context, st *flowstage.StageStats) erro
 		// lines (still penalized, so every shareable valve shares).
 		f.allowPartial = true
 		st.Count("partial_fallback", 1)
-		keys := make([]string, 0, len(f.augCache))
-		for k, ev := range f.augCache {
-			ev.searched = false
-			ev.bestFit = math.Inf(1)
-			ev.bestPartners = nil
-			keys = append(keys, k)
+		keys := f.augCache.SortedKeys()
+		for _, k := range keys {
+			if ev, ok := f.augCache.Get(k); ok {
+				ev.searched = false
+				ev.bestFit = math.Inf(1)
+				ev.bestPartners = nil
+			}
 		}
-		sort.Strings(keys)
 		const retryConfigs = 8
 		for i, k := range keys {
 			if i >= retryConfigs {
 				break
 			}
-			f.bestSharingFitness(f.augCache[k])
+			if ev, ok := f.augCache.Get(k); ok {
+				f.bestSharingFitness(ev)
+			}
 		}
 		bestEval = f.bestEvalSeen(refEval)
 		if f.bestSharingFitness(bestEval) >= validThreshold {
 			return fmt.Errorf("core: no valid sharing scheme found for %s/%s", c.Name, f.graph.Name)
 		}
 	}
-	st.Count("configs_evaluated", int64(len(f.augCache)))
+	st.Count("configs_evaluated", int64(f.augCache.Len()))
 	f.bestEval.Set(bestEval)
 	return nil
 }

@@ -7,10 +7,11 @@ import (
 )
 
 // Observer receives pipeline progress events. Implementations must be
-// cheap and must not block: events fire from solver hot loops. All
-// methods may be called from the goroutine running the pipeline only —
-// the DFT flow's solvers are internally parallel but tick from the
-// orchestrating goroutine.
+// cheap and must not block: events fire from solver hot loops. During
+// search stages events may be emitted from PSO worker goroutines, but
+// the flow serializes every call behind one mutex — an Observer never
+// sees two calls running concurrently and never sees an event for a
+// stage after that stage's StageEnd.
 //
 // The event vocabulary mirrors what the DFT flow can say about itself:
 //

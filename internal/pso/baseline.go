@@ -1,0 +1,137 @@
+// The seed's asynchronous serial PSO engine, preserved verbatim (plus the
+// NaN clamp both engines share) as the A/B reference for cmd/bench -pso
+// and the batch-vs-baseline property tests — the same convention as
+// lp/ilp SolveBaseline, pressure.SolveBaseline and
+// fault.EvaluateCoverageBaseline.
+//
+// The baseline updates gbest immediately after each particle's
+// evaluation, so later particles in the same iteration are attracted to a
+// best position found moments earlier. That asynchronous update order is
+// inherently serial: evaluating particles concurrently would make the
+// trajectory depend on completion order. The batch-synchronous engine in
+// MinimizeCtx trades that same-iteration freshness for a barrier that
+// makes the trajectory worker-count independent.
+
+package pso
+
+import (
+	"context"
+	"math"
+	"math/rand"
+)
+
+// MinimizeBaseline runs the seed's asynchronous serial PSO over [0,1]^dim.
+// Config.Workers is ignored — the evaluation order is the trajectory, so
+// the baseline cannot parallelize.
+func MinimizeBaseline(dim int, fitness func(x []float64) float64, cfg Config) Result {
+	return MinimizeBaselineCtx(context.Background(), dim, fitness, cfg)
+}
+
+// MinimizeBaselineCtx is MinimizeBaseline with cooperative cancellation:
+// the context is checked between particle updates, and on expiry the best
+// position found so far is returned with Interrupted set. At least one
+// particle is always evaluated, so BestX is usable even under an
+// already-cancelled context.
+func MinimizeBaselineCtx(ctx context.Context, dim int, fitness func(x []float64) float64, cfg Config) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if dim <= 0 {
+		// Degenerate: a single empty position.
+		f := clampNaN(fitness(nil))
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(0, f)
+		}
+		return Result{BestX: nil, BestFitness: f, Trace: fill(cfg.Iterations+1, f), Evaluations: 1}
+	}
+
+	type particle struct {
+		x, v, pbestX []float64
+		pbestF       float64
+	}
+	swarm := make([]particle, cfg.Particles)
+	gbestX := make([]float64, dim)
+	gbestF := math.Inf(1)
+	evals := 0
+
+	interrupted := false
+	for i := range swarm {
+		p := particle{
+			x: make([]float64, dim),
+			v: make([]float64, dim),
+		}
+		for d := 0; d < dim; d++ {
+			p.x[d] = rng.Float64()
+			p.v[d] = (rng.Float64()*2 - 1) * cfg.VMax
+		}
+		// The first particle is always evaluated so the result carries a
+		// real position; afterwards an expired context stops initialization.
+		if i > 0 && ctx.Err() != nil {
+			interrupted = true
+			swarm = swarm[:i]
+			break
+		}
+		f := clampNaN(fitness(p.x))
+		evals++
+		p.pbestX = append([]float64(nil), p.x...)
+		p.pbestF = f
+		if f < gbestF {
+			gbestF = f
+			copy(gbestX, p.x)
+		}
+		swarm[i] = p
+	}
+	trace := make([]float64, 0, cfg.Iterations+1)
+	trace = append(trace, gbestF)
+	if cfg.OnIteration != nil {
+		cfg.OnIteration(0, gbestF)
+	}
+
+	for it := 0; it < cfg.Iterations && !interrupted; it++ {
+		for i := range swarm {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			p := &swarm[i]
+			for d := 0; d < dim; d++ {
+				r1, r2 := rng.Float64(), rng.Float64()
+				p.v[d] = cfg.Omega*p.v[d] +
+					cfg.C1*r1*(p.pbestX[d]-p.x[d]) +
+					cfg.C2*r2*(gbestX[d]-p.x[d])
+				if p.v[d] > cfg.VMax {
+					p.v[d] = cfg.VMax
+				}
+				if p.v[d] < -cfg.VMax {
+					p.v[d] = -cfg.VMax
+				}
+				p.x[d] += p.v[d]
+				if p.x[d] < 0 {
+					p.x[d] = 0
+					p.v[d] = -p.v[d] * 0.5
+				}
+				if p.x[d] > 1 {
+					p.x[d] = 1
+					p.v[d] = -p.v[d] * 0.5
+				}
+			}
+			f := clampNaN(fitness(p.x))
+			evals++
+			if f < p.pbestF {
+				p.pbestF = f
+				copy(p.pbestX, p.x)
+			}
+			if f < gbestF {
+				gbestF = f
+				copy(gbestX, p.x)
+			}
+		}
+		trace = append(trace, gbestF)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(it+1, gbestF)
+		}
+	}
+	return Result{BestX: gbestX, BestFitness: gbestF, Trace: trace, Evaluations: evals, Interrupted: interrupted}
+}

@@ -11,13 +11,27 @@
 // (the paper prints the attraction terms with the sign flipped, which would
 // repel particles from the best positions; we use the standard attractive
 // form). Fitness is minimized; +Inf marks invalid positions, matching the
-// paper's "quality ∞" for configurations that fail validation.
+// paper's "quality ∞" for configurations that fail validation. A NaN
+// fitness is treated as +Inf too — NaN compares false against everything,
+// so left unclamped it would freeze a particle's attractor on an invalid
+// position forever.
+//
+// Minimize runs the batch-synchronous engine: every random draw happens on
+// the orchestrating goroutine, each generation's fitness evaluations fan
+// out over Config.Workers goroutines, and pbest/gbest updates are applied
+// in particle-index order after a barrier. The search trajectory is
+// therefore bit-identical for any worker count. The seed's asynchronous
+// serial engine (gbest updated immediately after each particle, so later
+// particles in the same iteration see it) is preserved as MinimizeBaseline
+// for A/B benchmarks and property tests.
 package pso
 
 import (
 	"context"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // Config tunes the swarm.
@@ -28,18 +42,36 @@ type Config struct {
 	// uses 100).
 	Iterations int
 	// Omega is the inertia weight ω, C1 the cognitive and C2 the social
-	// acceleration constants. Zero values select 0.7, 1.5, 1.5.
+	// acceleration constants. Zero values select 0.7, 1.5, 1.5 unless the
+	// corresponding Has* flag is set — a legitimate zero coefficient
+	// (e.g. ω=0, no inertia) needs HasOmega: true to disambiguate it from
+	// an unset field.
 	Omega, C1, C2 float64
-	// VMax clamps velocity components (default 0.5).
+	// HasOmega, HasC1, HasC2 mark the corresponding coefficient as
+	// explicitly configured, so a zero value means zero rather than "use
+	// the default".
+	HasOmega, HasC1, HasC2 bool
+	// VMax clamps velocity components (default 0.5; set HasVMax for a
+	// literal zero, which pins every particle to its initial position).
 	VMax float64
+	// HasVMax marks VMax as explicitly configured.
+	HasVMax bool
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers sets the number of goroutines that evaluate one
+	// generation's particles concurrently in Minimize/MinimizeCtx.
+	// 0 or 1 evaluate serially on the calling goroutine. The search
+	// trajectory is identical for every value; with Workers > 1 the
+	// fitness function must be safe for concurrent calls.
+	// MinimizeBaseline ignores Workers.
+	Workers int
 	// OnIteration, when non-nil, is called with the global-best fitness
 	// after initialization (iteration 0) and after every velocity/position
 	// update — the instrumentation hook the DFT flow's observer rides on.
 	// The callback must not mutate swarm state; it never affects the
 	// search (the RNG stream and iteration order are identical with or
-	// without it).
+	// without it). It is always invoked from the calling goroutine, after
+	// the generation barrier.
 	OnIteration func(iteration int, best float64)
 }
 
@@ -50,16 +82,16 @@ func (c Config) withDefaults() Config {
 	if c.Iterations <= 0 {
 		c.Iterations = 100
 	}
-	if c.Omega == 0 {
+	if c.Omega == 0 && !c.HasOmega {
 		c.Omega = 0.7
 	}
-	if c.C1 == 0 {
+	if c.C1 == 0 && !c.HasC1 {
 		c.C1 = 1.5
 	}
-	if c.C2 == 0 {
+	if c.C2 == 0 && !c.HasC2 {
 		c.C2 = 1.5
 	}
-	if c.VMax == 0 {
+	if c.VMax == 0 && !c.HasVMax {
 		c.VMax = 0.5
 	}
 	return c
@@ -81,17 +113,27 @@ type Result struct {
 	Interrupted bool
 }
 
-// Minimize runs PSO over [0,1]^dim. fitness returns the quality of a
-// position (lower is better; +Inf for invalid). The search is fully
-// deterministic for a fixed Config.Seed.
+// Minimize runs batch-synchronous PSO over [0,1]^dim. fitness returns the
+// quality of a position (lower is better; +Inf for invalid; NaN is treated
+// as +Inf). The search is fully deterministic for a fixed Config.Seed and
+// bit-identical for any Config.Workers value.
 func Minimize(dim int, fitness func(x []float64) float64, cfg Config) Result {
 	return MinimizeCtx(context.Background(), dim, fitness, cfg)
 }
 
 // MinimizeCtx is Minimize with cooperative cancellation: the context is
-// checked between particle updates, and on expiry the best position found
-// so far is returned with Interrupted set. At least one particle is always
-// evaluated, so BestX is usable even under an already-cancelled context.
+// checked between particle evaluations, and on expiry the best position
+// found so far is returned with Interrupted set. At least one particle is
+// always evaluated, so BestX is usable even under an already-cancelled
+// context.
+//
+// Each generation runs in three phases: velocity/position updates for the
+// whole swarm on the calling goroutine (one RNG stream, one draw order),
+// fitness evaluation of the generation over Config.Workers goroutines, and
+// pbest/gbest updates applied in particle-index order after all
+// evaluations return. Particle i's update therefore always sees the
+// global best of the previous generation, regardless of which worker
+// evaluated which particle first.
 func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64, cfg Config) Result {
 	if ctx == nil {
 		ctx = context.Background()
@@ -100,7 +142,7 @@ func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if dim <= 0 {
 		// Degenerate: a single empty position.
-		f := fitness(nil)
+		f := clampNaN(fitness(nil))
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(0, f)
 		}
@@ -112,37 +154,106 @@ func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64
 		pbestF       float64
 	}
 	swarm := make([]particle, cfg.Particles)
-	gbestX := make([]float64, dim)
-	gbestF := math.Inf(1)
-	evals := 0
-
-	interrupted := false
 	for i := range swarm {
 		p := particle{
-			x: make([]float64, dim),
-			v: make([]float64, dim),
+			x:      make([]float64, dim),
+			v:      make([]float64, dim),
+			pbestF: math.Inf(1),
 		}
 		for d := 0; d < dim; d++ {
 			p.x[d] = rng.Float64()
 			p.v[d] = (rng.Float64()*2 - 1) * cfg.VMax
 		}
-		// The first particle is always evaluated so the result carries a
-		// real position; afterwards an expired context stops initialization.
-		if i > 0 && ctx.Err() != nil {
-			interrupted = true
-			swarm = swarm[:i]
-			break
-		}
-		f := fitness(p.x)
-		evals++
-		p.pbestX = append([]float64(nil), p.x...)
-		p.pbestF = f
-		if f < gbestF {
-			gbestF = f
-			copy(gbestX, p.x)
-		}
 		swarm[i] = p
 	}
+	gbestX := make([]float64, dim)
+	gbestF := math.Inf(1)
+	evals := 0
+	fs := make([]float64, len(swarm))
+	done := make([]bool, len(swarm))
+	workers := cfg.Workers
+	if workers > len(swarm) {
+		workers = len(swarm)
+	}
+
+	// evalGen evaluates the current generation into fs, serially or over
+	// the worker pool, and reports whether any particle was skipped
+	// because the context expired. During initialization (init) the first
+	// particle is always evaluated so the result carries a real position.
+	evalGen := func(init bool) bool {
+		for i := range done {
+			done[i] = false
+		}
+		if workers > 1 && ctx.Err() == nil {
+			var next int64 = -1
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for ctx.Err() == nil {
+						i := int(atomic.AddInt64(&next, 1))
+						if i >= len(swarm) {
+							return
+						}
+						fs[i] = clampNaN(fitness(swarm[i].x))
+						done[i] = true
+					}
+				}()
+			}
+			wg.Wait()
+		} else if workers <= 1 {
+			for i := range swarm {
+				if ctx.Err() != nil && !(init && i == 0) {
+					break
+				}
+				fs[i] = clampNaN(fitness(swarm[i].x))
+				done[i] = true
+			}
+		}
+		if init && !done[0] {
+			fs[0] = clampNaN(fitness(swarm[0].x))
+			done[0] = true
+		}
+		interrupted := false
+		for i := range done {
+			if done[i] {
+				evals++
+			} else {
+				interrupted = true
+			}
+		}
+		return interrupted
+	}
+
+	// applyGen folds the generation's fitnesses into pbest/gbest in
+	// particle-index order — the barrier that makes the trajectory
+	// worker-count independent. Evaluated particles are applied even when
+	// the generation was interrupted, so the result is never worse than
+	// the best position actually seen.
+	applyGen := func(init bool) {
+		for i := range swarm {
+			if !done[i] {
+				continue
+			}
+			p := &swarm[i]
+			f := fs[i]
+			if init {
+				p.pbestX = append([]float64(nil), p.x...)
+				p.pbestF = f
+			} else if f < p.pbestF {
+				p.pbestF = f
+				copy(p.pbestX, p.x)
+			}
+			if f < gbestF {
+				gbestF = f
+				copy(gbestX, p.x)
+			}
+		}
+	}
+
+	interrupted := evalGen(true)
+	applyGen(true)
 	trace := make([]float64, 0, cfg.Iterations+1)
 	trace = append(trace, gbestF)
 	if cfg.OnIteration != nil {
@@ -151,10 +262,6 @@ func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64
 
 	for it := 0; it < cfg.Iterations && !interrupted; it++ {
 		for i := range swarm {
-			if ctx.Err() != nil {
-				interrupted = true
-				break
-			}
 			p := &swarm[i]
 			for d := 0; d < dim; d++ {
 				r1, r2 := rng.Float64(), rng.Float64()
@@ -177,23 +284,25 @@ func MinimizeCtx(ctx context.Context, dim int, fitness func(x []float64) float64
 					p.v[d] = -p.v[d] * 0.5
 				}
 			}
-			f := fitness(p.x)
-			evals++
-			if f < p.pbestF {
-				p.pbestF = f
-				copy(p.pbestX, p.x)
-			}
-			if f < gbestF {
-				gbestF = f
-				copy(gbestX, p.x)
-			}
 		}
+		interrupted = evalGen(false)
+		applyGen(false)
 		trace = append(trace, gbestF)
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(it+1, gbestF)
 		}
 	}
 	return Result{BestX: gbestX, BestFitness: gbestF, Trace: trace, Evaluations: evals, Interrupted: interrupted}
+}
+
+// clampNaN maps a NaN fitness to +Inf so it can never win a pbest/gbest
+// comparison (f < NaN is false for every f, which would otherwise freeze
+// the particle's attractor on the invalid position).
+func clampNaN(f float64) float64 {
+	if math.IsNaN(f) {
+		return math.Inf(1)
+	}
+	return f
 }
 
 func fill(n int, v float64) []float64 {
