@@ -6,6 +6,7 @@
 //	bench -pressure [-out BENCH_pressure.json]
 //	bench -diagnose [-out BENCH_diagnose.json]
 //	bench -pso [-out BENCH_pso.json]
+//	bench -sched [-out BENCH_sched.json]
 //
 // With -ilp it instead benchmarks the branch-and-bound ILP engine on the
 // paper's test-path and test-cut models of both example chips (see ilp.go).
@@ -21,6 +22,10 @@
 // batch-synchronous engine at 1/2/4/8 workers — per design, with
 // outer-stage wall-clock, cache hit rates and a worker-count
 // determinism check (see pso.go).
+// With -sched it measures the warm-start scheduler engine — the preserved
+// seed scheduler vs a fresh engine per call vs one engine reused across a
+// control set — per design, with bit-identity asserted on every schedule
+// and a whole-flow SchedBaseline A/B on the largest design (see sched.go).
 //
 // Three variants run over the same cold campaign (fresh simulator per
 // iteration): the seed's serial recomputation baseline, the memoized
@@ -77,15 +82,16 @@ func run() int {
 	pressureMode := flag.Bool("pressure", false, "benchmark the node-pressure solvers (dense vs sparse-cold vs sparse-warm vs parallel) per design instead of the fault campaign")
 	diagnoseMode := flag.Bool("diagnose", false, "benchmark adaptive fault diagnosis vs exhaustive replay per design instead of the fault campaign")
 	psoMode := flag.Bool("pso", false, "benchmark the two-level PSO fitness engine (serial recompute vs memoized vs batch at 1/2/4/8 workers) instead of the fault campaign")
+	schedMode := flag.Bool("sched", false, "benchmark the warm-start scheduler engine (seed baseline vs cold vs warm) per design instead of the fault campaign")
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode, *psoMode} {
+	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode, *psoMode, *schedMode} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return cliutil.Usagef(tool, "-ilp, -pressure, -diagnose and -pso are mutually exclusive")
+		return cliutil.Usagef(tool, "-ilp, -pressure, -diagnose, -pso and -sched are mutually exclusive")
 	}
 	if *ilpMode {
 		return runILP(*outFile)
@@ -98,6 +104,9 @@ func run() int {
 	}
 	if *psoMode {
 		return runPSO(*outFile)
+	}
+	if *schedMode {
+		return runSched(*outFile)
 	}
 
 	c := chip.MRNA()

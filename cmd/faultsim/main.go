@@ -47,6 +47,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flowstage"
 	"repro/internal/report"
+	"repro/internal/sched"
 )
 
 const tool = "faultsim"
@@ -221,10 +222,12 @@ func run() int {
 						sets = append(sets, d.Result.Suspects)
 					}
 				}
+				sm := sched.NewMetrics()
 				r := &diagnose.Reconfigurer{
-					Chip:  aug.Chip,
-					Ctrl:  dft.IndependentControl(aug.Chip),
-					Assay: asy,
+					Chip:    aug.Chip,
+					Ctrl:    dft.IndependentControl(aug.Chip),
+					Assay:   asy,
+					Metrics: sm,
 				}
 				var err error
 				groups, err = r.Campaign(ctx, sets, *workers)
@@ -233,6 +236,11 @@ func run() int {
 				}
 				st.Count("reconf_sets", int64(len(sets)))
 				st.Count("reconf_groups", int64(len(groups)))
+				snap := sm.Snapshot()
+				st.Count("sched_engine_builds", snap.EngineBuilds)
+				st.Count("sched_warm_runs", snap.WarmRuns)
+				st.Count("sched_candidate_hits", snap.CandidateHits)
+				st.Count("sched_fallback_reroutes", snap.FallbackReroutes)
 				return nil
 			},
 		})

@@ -274,6 +274,19 @@ func ScheduleAssay(c *Chip, ctrl *Control, a *Assay, p SchedParams) (*Schedule, 
 	return sched.Run(c, ctrl, a, p)
 }
 
+// SchedEngine is the warm-start scheduler: built once per (chip, assay,
+// ban-set), it precomputes every control-independent piece of routing and
+// validation state so that each Run only pays for the control-dependent
+// simulation. Schedules are bit-identical to ScheduleAssay's.
+type SchedEngine = sched.Engine
+
+// NewSchedEngine builds a warm-start scheduler engine. Callers evaluating
+// many control assignments on one chip (the PSO fitness pattern) should
+// build one engine and call its Run methods instead of ScheduleAssay.
+func NewSchedEngine(c *Chip, a *Assay, p SchedParams) (*SchedEngine, error) {
+	return sched.NewEngine(c, a, p)
+}
+
 // ControlLayer is a synthesized physical control layer (routing of the
 // air channels that actuate the valves).
 type ControlLayer = control.Layer

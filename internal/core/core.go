@@ -144,6 +144,13 @@ type Options struct {
 	// changes. This is cmd/bench -pso's serial recomputation leg, the
 	// denominator of the engine's speedup — not a mode end users want.
 	PSORecompute bool
+	// SchedBaseline routes every schedule evaluation through the seed's
+	// cold scheduler path (sched.RunProgressBaseline), which rebuilds its
+	// routing and validation state per call, instead of the flow's cached
+	// warm engines. Schedules are bit-identical either way (the engine's
+	// defining property), so the whole Result is too; only wall-clock
+	// changes. This is cmd/bench -sched's A/B reference leg.
+	SchedBaseline bool
 	// Observer receives live pipeline events: stage boundaries, solver
 	// iteration ticks, chain tier transitions, cache-hit deltas. nil
 	// disables observation. Observers never affect the search — results
@@ -262,6 +269,17 @@ type flow struct {
 	cur      *flowstage.StageStats
 	memoBase fault.MetricsSnapshot
 
+	// schedMetrics aggregates warm-scheduler counters across every engine
+	// the flow builds; schedBase is the running stage's baseline snapshot.
+	// schedEngines caches one warm engine per augmented chip (the ban-set
+	// and model parameters are fixed by opts.Sched for the whole flow);
+	// entries are once-built so concurrent PSO workers racing on a new
+	// chip construct its engine exactly once.
+	schedMetrics *sched.Metrics
+	schedBase    sched.MetricsSnapshot
+	schedMu      sync.Mutex
+	schedEngines map[*chip.Chip]*schedEngineEntry
+
 	execOriginal int
 
 	// diagInject and reconfInject are the Options.Inject entries routed
@@ -370,6 +388,8 @@ func RunDFTFlowCtx(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Optio
 		reconfInject: reconfInject,
 		augCache:     newOnceMap[*augEval](),
 		innerCache:   newOnceMap[float64](),
+		schedMetrics: sched.NewMetrics(),
+		schedEngines: make(map[*chip.Chip]*schedEngineEntry),
 	}
 	stages := []flowstage.Stage{
 		{Name: StageSchedule, Run: f.runScheduleStage},
@@ -417,6 +437,7 @@ func (f *flow) stageName() string {
 func (f *flow) enterStage(st *flowstage.StageStats) {
 	f.cur = st
 	f.memoBase = f.metrics.Snapshot()
+	f.schedBase = f.schedMetrics.Snapshot()
 }
 
 // leaveStage folds the stage's fault-simulation memo traffic into its
@@ -437,6 +458,11 @@ func (f *flow) leaveStage(st *flowstage.StageStats) {
 			obs.CacheDelta(st.Name, cache, h, m)
 		}
 	}
+	sd := f.schedMetrics.Snapshot().Sub(f.schedBase)
+	st.Count("sched_engine_builds", sd.EngineBuilds)
+	st.Count("sched_warm_runs", sd.WarmRuns)
+	st.Count("sched_candidate_hits", sd.CandidateHits)
+	st.Count("sched_fallback_reroutes", sd.FallbackReroutes)
 	f.cur = nil
 }
 
@@ -683,6 +709,64 @@ const (
 	partialBand    = 1e6
 )
 
+// schedEngineEntry is one once-built warm scheduler engine in the flow's
+// per-chip cache.
+type schedEngineEntry struct {
+	once sync.Once
+	eng  *sched.Engine
+	err  error
+}
+
+// schedEngine returns the flow's warm scheduler engine for chip c, building
+// it at most once per chip. Augmented chips are distinct pointers, so the
+// pointer key separates configurations; the ban-set and model parameters
+// are fixed by opts.Sched for the whole flow, so one engine per chip is
+// exhaustive. Safe from concurrent PSO workers.
+func (f *flow) schedEngine(c *chip.Chip) (*sched.Engine, error) {
+	f.schedMu.Lock()
+	if f.schedEngines == nil {
+		// Hand-built flows (tests) skip RunDFTFlowCtx's initialization.
+		f.schedEngines = make(map[*chip.Chip]*schedEngineEntry)
+	}
+	ent, ok := f.schedEngines[c]
+	if !ok {
+		ent = &schedEngineEntry{}
+		f.schedEngines[c] = ent
+	}
+	f.schedMu.Unlock()
+	ent.once.Do(func() {
+		ent.eng, ent.err = sched.NewEngine(c, f.graph, f.opts.Sched)
+		if ent.err == nil {
+			ent.eng.SetMetrics(f.schedMetrics)
+		}
+	})
+	return ent.eng, ent.err
+}
+
+// runSched schedules the assay on c under ctrl through the flow's warm
+// engine for that chip — or through the preserved cold path when
+// Options.SchedBaseline is set. Both paths return bit-identical schedules.
+func (f *flow) runSched(c *chip.Chip, ctrl *chip.Control) (*sched.Schedule, int, error) {
+	if f.opts.SchedBaseline {
+		return sched.RunProgressBaseline(c, ctrl, f.graph, f.opts.Sched)
+	}
+	eng, err := f.schedEngine(c)
+	if err != nil {
+		return nil, 0, err
+	}
+	return eng.RunProgress(ctrl, f.opts.Sched)
+}
+
+// execTime is the makespan-only convenience over runSched; ok is false for
+// unschedulable combinations.
+func (f *flow) execTime(c *chip.Chip, ctrl *chip.Control) (int, bool) {
+	sch, _, err := f.runSched(c, ctrl)
+	if err != nil {
+		return 0, false
+	}
+	return sch.ExecutionTime, true
+}
+
 func (f *flow) computeSharingFitness(ev *augEval, partners []int) float64 {
 	c := ev.aug.Chip
 	ctrl, err := chip.SharedControl(c, partners)
@@ -728,7 +812,7 @@ func (f *flow) computeSharingFitness(ev *augEval, partners []int) float64 {
 	// Application validation: the assay must still complete; quality is
 	// its execution time. Wedged schedules are graded by how far they got,
 	// giving the swarm a slope towards schedulability.
-	sch, opsDone, err := sched.RunProgress(c, ctrl, f.graph, f.opts.Sched)
+	sch, opsDone, err := f.runSched(c, ctrl)
 	if err != nil {
 		return penaltyBase + 1e5 - 100*float64(opsDone)
 	}

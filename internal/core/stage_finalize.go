@@ -9,7 +9,6 @@ import (
 	"repro/internal/chip"
 	"repro/internal/fault"
 	"repro/internal/flowstage"
-	"repro/internal/sched"
 	"repro/internal/testgen"
 )
 
@@ -53,12 +52,12 @@ func (f *flow) runFinalizeStage(ctx context.Context, st *flowstage.StageStats) e
 	}
 	// Fitness values may carry partial-sharing penalties; report the real
 	// schedule length.
-	execPSO, okPSO := sched.ExecutionTime(bestEval.aug.Chip, ctrl, g, f.opts.Sched)
+	execPSO, okPSO := f.execTime(bestEval.aug.Chip, ctrl)
 	if !okPSO {
 		return fmt.Errorf("core: internal error: chosen sharing unschedulable on %s/%s", c.Name, g.Name)
 	}
 
-	execIndep, ok := sched.ExecutionTime(bestEval.aug.Chip, chip.IndependentControl(bestEval.aug.Chip), g, f.opts.Sched)
+	execIndep, ok := f.execTime(bestEval.aug.Chip, chip.IndependentControl(bestEval.aug.Chip))
 	if !ok {
 		execIndep = -1
 	}

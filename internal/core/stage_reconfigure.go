@@ -69,11 +69,12 @@ func (f *flow) runReconfigureStage(ctx context.Context, st *flowstage.StageStats
 		}
 	}
 	r := &diagnose.Reconfigurer{
-		Chip:   res.Aug.Chip,
-		Ctrl:   res.Control,
-		Assay:  f.graph,
-		Params: f.opts.Sched,
-		Inject: f.reconfInject,
+		Chip:    res.Aug.Chip,
+		Ctrl:    res.Control,
+		Assay:   f.graph,
+		Params:  f.opts.Sched,
+		Inject:  f.reconfInject,
+		Metrics: f.schedMetrics,
 		OnAttempt: func(att solve.Attempt) {
 			st.Count("reconf_chain_attempts", 1)
 			obs.ChainAttempt(st.Name, att.Tier, att.Name, string(att.Reason), att.Elapsed)

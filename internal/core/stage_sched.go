@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/flowstage"
-	"repro/internal/sched"
 )
 
 // runScheduleStage checks that the assay is schedulable on the unmodified
@@ -16,7 +15,7 @@ func (f *flow) runScheduleStage(ctx context.Context, st *flowstage.StageStats) e
 	f.enterStage(st)
 	defer f.leaveStage(st)
 
-	execOrig, ok := sched.ExecutionTime(f.orig, nil, f.graph, f.opts.Sched)
+	execOrig, ok := f.execTime(f.orig, nil)
 	if !ok {
 		return fmt.Errorf("core: assay %s is unschedulable on the original chip %s", f.graph.Name, f.orig.Name)
 	}

@@ -78,10 +78,61 @@ type Reconfigurer struct {
 	// OnAttempt, when non-nil, observes every tier attempt (Run fires it
 	// inline; Campaign replays serially after the parallel phase).
 	OnAttempt func(solve.Attempt)
+	// Metrics, when non-nil, is attached to every warm scheduler engine the
+	// reconfigurer builds, so callers can attribute engine traffic.
+	Metrics *sched.Metrics
 
 	baselineOnce sync.Once
 	baselineTime int
 	baselineErr  error
+
+	// engines caches one warm sched.Engine per distinct ban set. All three
+	// tiers of a Run share an engine (the tier knobs — MaxReroutes,
+	// RelaxStuckOpenSeal — are per-call parameters, not engine state), and
+	// Campaign's banKey-deduplicated groups reuse entries across the whole
+	// campaign. The pointer is shared with Campaign's worker copy.
+	engOnce sync.Once
+	engines *engineCache
+}
+
+// engineCache maps canonical ban keys to once-built scheduler engines.
+type engineCache struct {
+	mu      sync.Mutex
+	entries map[string]*engineEntry
+}
+
+type engineEntry struct {
+	once sync.Once
+	eng  *sched.Engine
+	err  error
+}
+
+// engineCacheInit returns the reconfigurer's engine cache, creating it on
+// first use (safe under concurrent Run calls).
+func (r *Reconfigurer) engineCacheInit() *engineCache {
+	r.engOnce.Do(func() { r.engines = &engineCache{entries: map[string]*engineEntry{}} })
+	return r.engines
+}
+
+// engineFor returns the warm engine for the ban set named in p, building it
+// at most once per distinct set.
+func (r *Reconfigurer) engineFor(p sched.Params) (*sched.Engine, error) {
+	ec := r.engineCacheInit()
+	key := banKey(p.BanClosed, p.BanOpen)
+	ec.mu.Lock()
+	ent, ok := ec.entries[key]
+	if !ok {
+		ent = &engineEntry{}
+		ec.entries[key] = ent
+	}
+	ec.mu.Unlock()
+	ent.once.Do(func() {
+		ent.eng, ent.err = sched.NewEngine(r.Chip, r.Assay, p)
+		if ent.err == nil && r.Metrics != nil {
+			ent.eng.SetMetrics(r.Metrics)
+		}
+	})
+	return ent.eng, ent.err
 }
 
 // Bans maps a fault set to scheduler bans: stuck-at-0 (can't open /
@@ -113,7 +164,11 @@ func Bans(faults []fault.Fault) (banClosed, banOpen []int) {
 // parameters (computed once).
 func (r *Reconfigurer) Baseline(ctx context.Context) (int, error) {
 	r.baselineOnce.Do(func() {
-		sch, err := sched.RunCtx(ctx, r.Chip, r.Ctrl, r.Assay, r.Params)
+		eng, err := r.engineFor(r.Params)
+		var sch *sched.Schedule
+		if err == nil {
+			sch, err = eng.RunCtx(ctx, r.Ctrl, r.Params)
+		}
 		if err != nil {
 			r.baselineErr = fmt.Errorf("diagnose: fault-free baseline unschedulable: %w", err)
 			return
@@ -170,7 +225,11 @@ func (r *Reconfigurer) Run(ctx context.Context, faults []fault.Fault) (solve.Out
 			Name: name,
 			Run: func(ctx context.Context) (*Reconfiguration, error) {
 				p := r.tierParams(name, banClosed, banOpen)
-				sch, err := sched.RunCtx(ctx, r.Chip, r.Ctrl, r.Assay, p)
+				eng, err := r.engineFor(p)
+				var sch *sched.Schedule
+				if err == nil {
+					sch, err = eng.RunCtx(ctx, r.Ctrl, p)
+				}
 				if err != nil {
 					if ctx.Err() != nil {
 						return nil, err
@@ -273,13 +332,17 @@ func (r *Reconfigurer) Campaign(ctx context.Context, suspectSets [][]fault.Fault
 		groups[g].Members = append(groups[g].Members, i)
 	}
 
-	// Hook-free worker copy; attempts are replayed serially below.
+	// Hook-free worker copy; attempts are replayed serially below. The
+	// engine cache pointer is shared, so every banKey group reuses the
+	// engines built so far (and vice versa).
 	worker := &Reconfigurer{
 		Chip: r.Chip, Ctrl: r.Ctrl, Assay: r.Assay, Params: r.Params,
-		Inject: r.Inject,
+		Inject: r.Inject, Metrics: r.Metrics,
 	}
 	worker.baselineOnce.Do(func() {})
 	worker.baselineTime, worker.baselineErr = r.baselineTime, r.baselineErr
+	worker.engOnce.Do(func() {})
+	worker.engines = r.engineCacheInit()
 	run := func(g int) {
 		outcome, err := worker.Run(ctx, rep[g])
 		groups[g].Reconfig = outcome.Value

@@ -216,3 +216,60 @@ func mustEdge(t *testing.T, c *chip.Chip, x1, y1, x2, y2 int) int {
 	}
 	return e
 }
+
+// One warm scheduler engine per distinct ban set: a campaign over
+// duplicated suspect sets must build exactly one engine for the fault-free
+// baseline plus one per banKey group, regardless of worker count, and the
+// three tiers of a chain share their group's engine.
+func TestReconfigureEngineReusePerBanSet(t *testing.T) {
+	c := chip.IVD()
+	sets := [][]fault.Fault{
+		{{Kind: fault.StuckAt0, Valve: 2}},
+		{{Kind: fault.StuckAt1, Valve: 3}},
+		{{Kind: fault.StuckAt0, Valve: 2}}, // duplicate ban set
+		{{Kind: fault.Leakage, Valve: 3}},  // same ban as set 1
+	}
+	for _, workers := range []int{1, 4} {
+		m := sched.NewMetrics()
+		r := &Reconfigurer{Chip: c, Assay: assay.IVD(), Metrics: m}
+		groups, err := r.Campaign(context.Background(), sets, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := m.Snapshot()
+		want := int64(len(groups) + 1) // one per ban group + the baseline's
+		if snap.EngineBuilds != want {
+			t.Fatalf("workers=%d: %d engine builds for %d groups, want %d",
+				workers, snap.EngineBuilds, len(groups), want)
+		}
+		if snap.WarmRuns < snap.EngineBuilds {
+			t.Fatalf("workers=%d: %d runs but %d builds", workers, snap.WarmRuns, snap.EngineBuilds)
+		}
+	}
+}
+
+// A chain that degrades to the relaxed tier runs three tiers against one
+// ban set: the tiers must share a single engine (plus the baseline's).
+func TestReconfigureTiersShareEngine(t *testing.T) {
+	c, g := lineChipAssay(t)
+	stub, err := c.AddDFTChannel(mustEdge(t, c, 2, 1, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sched.NewMetrics()
+	r := &Reconfigurer{Chip: c, Assay: g, Params: sched.Params{MaxTime: 3600}, Metrics: m}
+	out, err := r.Run(context.Background(), []fault.Fault{{Kind: fault.StuckAt1, Valve: stub}})
+	if err != nil {
+		t.Fatalf("relaxed tier should rescue: %v", err)
+	}
+	if out.Name != TierRelaxed {
+		t.Fatalf("expected relaxed-tier rescue, got %q", out.Name)
+	}
+	snap := m.Snapshot()
+	if snap.EngineBuilds != 2 {
+		t.Fatalf("%d engine builds, want 2 (baseline + one shared by all tiers)", snap.EngineBuilds)
+	}
+	if snap.WarmRuns != 4 {
+		t.Fatalf("%d warm runs, want 4 (baseline + 3 tier attempts)", snap.WarmRuns)
+	}
+}

@@ -337,6 +337,122 @@ func (g *Graph) WeightedShortestPath(src, dst int, weight func(edge int) float64
 	return nodes, edges, dist[dst], true
 }
 
+// BFSDistScratch is BFSFrom with caller-owned buffers: dist is resized (and
+// returned) to the node count and filled exactly like BFSFrom's result, and
+// repeated calls allocate nothing once the scratch queue has grown to the
+// graph size. The traversal order — and therefore every distance — is
+// identical to BFSFrom's.
+func (g *Graph) BFSDistScratch(s *Scratch, dist []int, src int, allow func(edge int) bool) []int {
+	g.checkNode(src)
+	if cap(dist) < g.n {
+		dist = make([]int, g.n)
+	}
+	dist = dist[:g.n]
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := s.queue[:0]
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range g.adj[u] {
+			if g.edges[a.Edge].deleted {
+				continue
+			}
+			if allow != nil && !allow(a.Edge) {
+				continue
+			}
+			if dist[a.To] < 0 {
+				dist[a.To] = dist[u] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	s.queue = queue
+	return dist
+}
+
+// PathScratch holds the reusable buffers of repeated weighted shortest-path
+// queries. The zero value is ready to use; one PathScratch must not be
+// shared between goroutines. The edge slice returned by
+// WeightedShortestPathScratch aliases the scratch and is overwritten by the
+// next query — callers that keep a path must copy it.
+type PathScratch struct {
+	dist     []float64
+	prevNode []int
+	prevEdge []int
+	done     []bool
+	heap     nodeHeap
+	edges    []int
+}
+
+// WeightedShortestPathScratch is WeightedShortestPath restricted to the
+// edge list (the schedulers never need the node list), with caller-owned
+// scratch buffers: repeated queries allocate nothing once the scratch has
+// grown to the graph size. The relaxation and heap order are identical to
+// WeightedShortestPath's, so the returned path (not just its cost) matches
+// it edge for edge.
+func (g *Graph) WeightedShortestPathScratch(s *PathScratch, src, dst int, weight func(edge int) float64) (edges []int, total float64, ok bool) {
+	g.checkNode(src)
+	g.checkNode(dst)
+	const inf = 1e308
+	if len(s.dist) < g.n {
+		s.dist = make([]float64, g.n)
+		s.prevNode = make([]int, g.n)
+		s.prevEdge = make([]int, g.n)
+		s.done = make([]bool, g.n)
+	}
+	dist, prevNode, prevEdge, done := s.dist[:g.n], s.prevNode[:g.n], s.prevEdge[:g.n], s.done[:g.n]
+	for i := 0; i < g.n; i++ {
+		dist[i] = inf
+		prevNode[i] = -1
+		prevEdge[i] = -1
+		done[i] = false
+	}
+	dist[src] = 0
+	h := &s.heap
+	h.items = h.items[:0]
+	h.push(heapItem{node: src, dist: 0})
+	for h.len() > 0 {
+		it := h.pop()
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, a := range g.adj[u] {
+			if g.edges[a.Edge].deleted {
+				continue
+			}
+			w := weight(a.Edge)
+			if w < 0 {
+				continue
+			}
+			nd := dist[u] + w
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				prevNode[a.To] = u
+				prevEdge[a.To] = a.Edge
+				h.push(heapItem{node: a.To, dist: nd})
+			}
+		}
+	}
+	if dist[dst] >= inf {
+		return nil, 0, false
+	}
+	out := s.edges[:0]
+	for u := dst; u != src; u = prevNode[u] {
+		out = append(out, prevEdge[u])
+	}
+	reverseInts(out)
+	s.edges = out
+	return out, dist[dst], true
+}
+
 // ConnectedComponents labels each node with a component ID in [0, k) and
 // returns (labels, k), considering live edges only.
 func (g *Graph) ConnectedComponents() ([]int, int) {

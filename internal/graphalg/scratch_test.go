@@ -1,0 +1,126 @@
+package graphalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a connected-ish random graph with some deleted edges
+// so the scratch traversals see the same live-edge filtering the allocating
+// ones do.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := NewGraph(n)
+	// Spanning chain keeps most nodes reachable.
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		e := g.AddEdge(u, v)
+		if rng.Intn(8) == 0 {
+			g.DeleteEdge(e)
+		}
+	}
+	return g
+}
+
+func TestBFSDistScratchMatchesBFSFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch Scratch
+	var dist []int
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n, n*2)
+		blocked := make(map[int]bool)
+		for e := 0; e < g.NumEdges(); e++ {
+			if rng.Intn(4) == 0 {
+				blocked[e] = true
+			}
+		}
+		allow := func(e int) bool { return !blocked[e] }
+		for src := 0; src < n; src += 1 + rng.Intn(3) {
+			want := g.BFSFrom(src, allow)
+			dist = g.BFSDistScratch(&scratch, dist, src, allow)
+			if len(dist) != len(want) {
+				t.Fatalf("trial %d src %d: length %d vs %d", trial, src, len(dist), len(want))
+			}
+			for v := range want {
+				if dist[v] != want[v] {
+					t.Fatalf("trial %d src %d node %d: scratch %d, alloc %d",
+						trial, src, v, dist[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedShortestPathScratchMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var scratch PathScratch
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, n*2)
+		w := make([]float64, g.NumEdges())
+		for e := range w {
+			// Mix of unit weights, heavier penalties and forbidden edges —
+			// the three weight classes the scheduler produces.
+			switch rng.Intn(5) {
+			case 0:
+				w[e] = -1
+			case 1:
+				w[e] = 11
+			default:
+				w[e] = 1
+			}
+		}
+		weight := func(e int) float64 { return w[e] }
+		for pair := 0; pair < 12; pair++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			_, wantEdges, wantCost, wantOK := g.WeightedShortestPath(src, dst, weight)
+			gotEdges, gotCost, gotOK := g.WeightedShortestPathScratch(&scratch, src, dst, weight)
+			if wantOK != gotOK {
+				t.Fatalf("trial %d %d->%d: ok %v vs %v", trial, src, dst, gotOK, wantOK)
+			}
+			if !wantOK {
+				continue
+			}
+			if gotCost != wantCost {
+				t.Fatalf("trial %d %d->%d: cost %v vs %v", trial, src, dst, gotCost, wantCost)
+			}
+			if len(gotEdges) != len(wantEdges) {
+				t.Fatalf("trial %d %d->%d: path length %d vs %d", trial, src, dst, len(gotEdges), len(wantEdges))
+			}
+			for i := range wantEdges {
+				if gotEdges[i] != wantEdges[i] {
+					t.Fatalf("trial %d %d->%d: edge %d: %d vs %d — tie-breaks diverge",
+						trial, src, dst, i, gotEdges[i], wantEdges[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPathScratchReuseIsClean: a scratch carrying state from a previous
+// query on a different graph size must not leak into the next result.
+func TestPathScratchReuseIsClean(t *testing.T) {
+	var scratch PathScratch
+	var bfsScratch Scratch
+	var dist []int
+	big := randomGraph(rand.New(rand.NewSource(3)), 50, 100)
+	unit := func(int) float64 { return 1 }
+	all := func(int) bool { return true }
+	big.WeightedShortestPathScratch(&scratch, 0, 49, unit)
+	dist = big.BFSDistScratch(&bfsScratch, dist, 0, all)
+
+	small := NewGraph(3)
+	e0 := small.AddEdge(0, 1)
+	e1 := small.AddEdge(1, 2)
+	edges, cost, ok := small.WeightedShortestPathScratch(&scratch, 0, 2, unit)
+	if !ok || cost != 2 || len(edges) != 2 || edges[0] != e0 || edges[1] != e1 {
+		t.Fatalf("stale scratch state: edges=%v cost=%v ok=%v", edges, cost, ok)
+	}
+	dist = small.BFSDistScratch(&bfsScratch, dist, 2, all)
+	if len(dist) != 3 || dist[0] != 2 || dist[1] != 1 || dist[2] != 0 {
+		t.Fatalf("stale BFS scratch state: %v", dist)
+	}
+}

@@ -1,3 +1,9 @@
+// This file and baseline_transport.go are the seed scheduler, preserved
+// verbatim as the A/B reference behind RunBaseline: every run rebuilds its
+// routing, storage and snapshot-validation state from scratch. The warm
+// Engine (engine.go/routing.go/storage.go/snapshot.go/events.go) must stay
+// bit-identical to this path; the property tests in engine_test.go enforce
+// that. Do not "improve" this code — change the engine instead.
 package sched
 
 import (

@@ -1,3 +1,7 @@
+// Seed transport/storage policy, preserved verbatim for RunBaseline — see
+// the note atop baseline_sim.go. The warm engine's equivalents live in
+// routing.go (path search), snapshot.go (valve-state validation) and
+// storage.go (parking policy).
 package sched
 
 import (

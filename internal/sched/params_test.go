@@ -82,3 +82,51 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatalf("explicit params lost: %+v", p)
 	}
 }
+
+func TestExplicitZeroParams(t *testing.T) {
+	// An intentional zero survives when its Has flag is set — the zero-value
+	// ambiguity the flags exist to resolve. Zero transport time models
+	// instantaneous moves (launch still charges the 1 s minimum beat); a
+	// zero horizon rejects everything immediately.
+	p := Params{HasTransportTimePerEdge: true, HasMaxTime: true}.withDefaults()
+	if p.TransportTimePerEdge != 0 {
+		t.Fatalf("explicit zero TransportTimePerEdge overridden to %d", p.TransportTimePerEdge)
+	}
+	if p.MaxTime != 0 {
+		t.Fatalf("explicit zero MaxTime overridden to %d", p.MaxTime)
+	}
+	// Flags are recorded as set after defaulting, so a withDefaults round
+	// trip is idempotent.
+	q := p.withDefaults()
+	if q.TransportTimePerEdge != p.TransportTimePerEdge || q.MaxTime != p.MaxTime ||
+		!q.HasTransportTimePerEdge || !q.HasMaxTime {
+		t.Fatalf("withDefaults not idempotent: %+v vs %+v", q, p)
+	}
+
+	// Negative values still mean "use the default" regardless of flags.
+	p = Params{TransportTimePerEdge: -1, MaxTime: -1, HasTransportTimePerEdge: true, HasMaxTime: true}.withDefaults()
+	if p.TransportTimePerEdge != 2 || p.MaxTime != 24*3600 {
+		t.Fatalf("negative params not defaulted: %+v", p)
+	}
+
+	// A zero-transport-time schedule actually runs (every hop costs the
+	// 1 s minimum) and is shorter than the 2 s/edge default.
+	c := lineChip(t)
+	fast, err := Run(c, nil, miniAssay(), Params{HasTransportTimePerEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Run(c, nil, miniAssay(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ExecutionTime >= def.ExecutionTime {
+		t.Fatalf("zero transport time (%d s) not faster than default (%d s)",
+			fast.ExecutionTime, def.ExecutionTime)
+	}
+
+	// A zero horizon with the flag set must trip the MaxTime guard.
+	if _, err := Run(c, nil, miniAssay(), Params{MaxTime: 0, HasMaxTime: true}); err == nil {
+		t.Fatal("explicit zero MaxTime did not reject the schedule")
+	}
+}

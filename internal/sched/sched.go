@@ -23,13 +23,22 @@ import (
 // Params tunes the execution model.
 type Params struct {
 	// TransportTimePerEdge is the seconds a fluid sample needs to traverse
-	// one channel edge (default 2).
+	// one channel edge (default 2). An explicit zero — instantaneous
+	// transport in unit models — requires HasTransportTimePerEdge, because
+	// the zero value alone is indistinguishable from "unset".
 	TransportTimePerEdge int
+	// HasTransportTimePerEdge marks TransportTimePerEdge as deliberately
+	// set, so zero means zero instead of the default.
+	HasTransportTimePerEdge bool
 	// MaxTime aborts the simulation as unschedulable beyond this horizon in
 	// seconds (default 24h). Valve sharing can make transports permanently
 	// infeasible; the scheduler detects true deadlock earlier, but this is
-	// the final guard.
+	// the final guard. An explicit zero horizon (nothing may run past t=0)
+	// requires HasMaxTime.
 	MaxTime int
+	// HasMaxTime marks MaxTime as deliberately set, so zero means zero
+	// instead of the default.
+	HasMaxTime bool
 	// MaxReroutes bounds the alternative paths tried per transport per
 	// attempt when conflicts arise (default 6).
 	MaxReroutes int
@@ -60,13 +69,19 @@ type Params struct {
 	RelaxStuckOpenSeal bool
 }
 
+// withDefaults resolves the zero-value ambiguity the Has* flags exist for:
+// a field defaults only when it is zero AND unflagged (or negative, which
+// is never legal). The returned Params has both flags set, so resolving is
+// idempotent.
 func (p Params) withDefaults() Params {
-	if p.TransportTimePerEdge <= 0 {
+	if p.TransportTimePerEdge < 0 || (p.TransportTimePerEdge == 0 && !p.HasTransportTimePerEdge) {
 		p.TransportTimePerEdge = 2
 	}
-	if p.MaxTime <= 0 {
+	p.HasTransportTimePerEdge = true
+	if p.MaxTime < 0 || (p.MaxTime == 0 && !p.HasMaxTime) {
 		p.MaxTime = 24 * 3600
 	}
+	p.HasMaxTime = true
 	if p.MaxReroutes <= 0 {
 		p.MaxReroutes = 6
 	}
@@ -104,6 +119,11 @@ type Schedule struct {
 // Run schedules the assay on the chip under the control assignment and
 // returns the schedule, or an error when the assay cannot complete (e.g.
 // valve sharing permanently blocks a required transport).
+//
+// The Run* functions route through a freshly built Engine (a "cold" run);
+// callers that schedule one (chip, assay, ban-set) under many control
+// assignments should build the Engine once and call its Run methods
+// instead — the schedules are bit-identical either way.
 func Run(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, error) {
 	sch, _, err := RunProgress(c, ctrl, g, params)
 	return sch, err
@@ -127,6 +147,39 @@ func RunProgress(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params
 // with the context's error and the operations-completed count reached so
 // far.
 func RunProgressCtx(ctx context.Context, c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, int, error) {
+	eng, err := NewEngine(c, g, params)
+	if err != nil {
+		return nil, 0, err
+	}
+	return eng.RunProgressCtx(ctx, ctrl, params)
+}
+
+// --- the preserved seed scheduler (A/B reference) ---------------------------
+
+// RunBaseline is the seed scheduler preserved verbatim (baseline_sim.go,
+// baseline_transport.go): it rebuilds every piece of routing and validation
+// state from scratch on each call. It exists as the A/B reference the
+// engine's property tests and cmd/bench -sched compare against; Engine.Run
+// is bit-identical to it for every design, control assignment and ban set.
+func RunBaseline(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, error) {
+	sch, _, err := RunProgressBaseline(c, ctrl, g, params)
+	return sch, err
+}
+
+// RunBaselineCtx is RunBaseline with cooperative cancellation.
+func RunBaselineCtx(ctx context.Context, c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, error) {
+	sch, _, err := RunProgressBaselineCtx(ctx, c, ctrl, g, params)
+	return sch, err
+}
+
+// RunProgressBaseline is RunBaseline with the operations-completed count.
+func RunProgressBaseline(c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, int, error) {
+	return RunProgressBaselineCtx(context.Background(), c, ctrl, g, params)
+}
+
+// RunProgressBaselineCtx is the seed RunProgressCtx path, preserved
+// verbatim.
+func RunProgressBaselineCtx(ctx context.Context, c *chip.Chip, ctrl *chip.Control, g *assay.Graph, params Params) (*Schedule, int, error) {
 	if err := g.Validate(); err != nil {
 		return nil, 0, err
 	}

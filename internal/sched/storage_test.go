@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+// engineRunState builds a warm engine for (c, g) and checks out a zeroed
+// runState bound to the control assignment — the harness for poking the
+// storage policy directly.
+func engineRunState(t *testing.T, c *chip.Chip, g *assay.Graph, p Params) (*Engine, *runState) {
+	t.Helper()
+	eng, err := NewEngine(c, g, p)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	rs := newRunState(eng)
+	rs.reset(chip.IndependentControl(c), p.withDefaults(), nil)
+	return eng, rs
+}
+
+// TestStorageMoveRecords: CPA's 24 dispenses on the 2-device RA30 chip
+// force products into channel storage. Every ConsumerOp == -1 record must
+// be a well-formed evacuation: a real producer, a non-empty route, and a
+// destination segment that is valved (fluid can be sealed in) — and the
+// engine's records must match the baseline's exactly.
+func TestStorageMoveRecords(t *testing.T) {
+	c, g := chip.RA30(), assay.CPA()
+	sch := mustRun(t, c, nil, g)
+	base, err := RunBaseline(c, nil, g, Params{})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	moves := 0
+	for i, tr := range sch.Transports {
+		bt := base.Transports[i]
+		if tr.ProducerOp != bt.ProducerOp || tr.ConsumerOp != bt.ConsumerOp {
+			t.Fatalf("transport %d differs from baseline: %+v vs %+v", i, tr, bt)
+		}
+		if tr.ConsumerOp >= 0 {
+			continue
+		}
+		moves++
+		if tr.ProducerOp < 0 || tr.ProducerOp >= g.NumOps() {
+			t.Fatalf("storage move %d: bad producer %d", i, tr.ProducerOp)
+		}
+		if len(tr.Edges) == 0 {
+			t.Fatalf("storage move %d: empty route", i)
+		}
+		if tr.Finish <= tr.Start {
+			t.Fatalf("storage move %d: non-positive duration", i)
+		}
+		last := tr.Edges[len(tr.Edges)-1]
+		if _, ok := c.ValveOnEdge(last); !ok {
+			t.Fatalf("storage move %d: destination edge %d unvalved", i, last)
+		}
+	}
+	if moves == 0 {
+		t.Fatalf("CPA on RA30 scheduled without storage moves; the policy is untested")
+	}
+}
+
+// TestEmergencyStorageEvictionOrder: the wedge-breaking pass evacuates
+// device/port holders before re-parking stored products, lowest op ID
+// first. Product 5 holds a device and product 2 sits in a segment; the
+// holder must move even though the stored product has the lower ID.
+func TestEmergencyStorageEvictionOrder(t *testing.T) {
+	c, g := chip.RA30(), assay.PID()
+	_, rs := engineRunState(t, c, g, Params{})
+
+	// Product 5: parked on device 0, no aliquots departed.
+	rs.products[5] = productCtl{
+		exists: true, totalConsumers: 1,
+		loc:         location{kind: atNode, id: c.Devices[0].Node},
+		holdsDevice: 0, holdsPort: -1,
+	}
+	rs.deviceBusy[0] = true
+	// Product 2: already in channel storage.
+	seg := -1
+	for e := 0; e < c.Grid.NumEdges(); e++ {
+		if _, ok := c.ValveOnEdge(e); ok && !rs.eng.doorstep[e] {
+			seg = e
+			break
+		}
+	}
+	if seg < 0 {
+		t.Fatal("no free non-doorstep segment on RA30")
+	}
+	rs.products[2] = productCtl{
+		exists: true, totalConsumers: 1,
+		loc:         location{kind: atEdge, id: seg},
+		holdsDevice: -1, holdsPort: -1,
+	}
+	rs.holderOf[seg] = 2
+	rs.heldCount++
+
+	if !rs.emergencyStorage() {
+		t.Fatal("emergencyStorage found no move")
+	}
+	if len(rs.recTransports) != 1 {
+		t.Fatalf("recorded %d transports, want 1", len(rs.recTransports))
+	}
+	tr := rs.recTransports[0]
+	if tr.ConsumerOp != -1 {
+		t.Fatalf("ConsumerOp = %d, want -1", tr.ConsumerOp)
+	}
+	if tr.ProducerOp != 5 {
+		t.Fatalf("evacuated product %d, want the device holder 5", tr.ProducerOp)
+	}
+	if !rs.products[5].moving || rs.products[5].holdsDevice != -1 || rs.deviceBusy[0] {
+		t.Fatalf("holder not released: %+v deviceBusy=%v", rs.products[5], rs.deviceBusy[0])
+	}
+}
+
+// TestEmergencyStorageSkipsDeparted: a product whose aliquots already
+// started departing must not be evacuated (its task is marked done), and a
+// failed candidate must not leave a phantom task behind.
+func TestEmergencyStorageSkipsDeparted(t *testing.T) {
+	c, g := chip.RA30(), assay.PID()
+	_, rs := engineRunState(t, c, g, Params{})
+	rs.products[3] = productCtl{
+		exists: true, totalConsumers: 2, started: 1,
+		loc:         location{kind: atNode, id: c.Devices[0].Node},
+		holdsDevice: 0, holdsPort: -1,
+	}
+	if rs.emergencyStorage() {
+		t.Fatal("evacuated a product already feeding consumers")
+	}
+	if len(rs.tasks) != 0 {
+		t.Fatalf("%d phantom tasks left behind", len(rs.tasks))
+	}
+}
+
+// TestPickParkingEdgeMatchesBaseline mirrors randomized occupancy states
+// into both the engine runState and the baseline simState and demands the
+// identical parking decision from each — the policy pair the warm path must
+// never diverge from.
+func TestPickParkingEdgeMatchesBaseline(t *testing.T) {
+	c, g := chip.MRNA(), assay.CPA()
+	p := Params{}.withDefaults()
+	_, rs := engineRunState(t, c, g, Params{})
+	s := newSimState(c, chip.IndependentControl(c), g, p)
+
+	// Occupancy pattern: a couple of busy edges and one stored product.
+	busy := []int{3, 17, 31}
+	for _, e := range busy {
+		if e < c.Grid.NumEdges() {
+			rs.edgeBusy[e] = true
+			s.edgeBusy[e] = true
+		}
+	}
+	seg := -1
+	for e := 40; e < c.Grid.NumEdges(); e++ {
+		if _, ok := c.ValveOnEdge(e); ok {
+			seg = e
+			break
+		}
+	}
+	if seg < 0 {
+		t.Fatal("no valved segment found")
+	}
+	pc := productCtl{exists: true, totalConsumers: 1, loc: location{kind: atEdge, id: seg}, holdsDevice: -1, holdsPort: -1}
+	rs.products[1], s.products[1] = pc, pc
+	rs.holderOf[seg] = 1
+	rs.heldCount++
+
+	for _, d := range c.Devices {
+		wantEdge, wantOK := s.pickParkingEdge(d.Node, 0)
+		gotEdge, gotOK := rs.pickParkingEdge(d.Node)
+		if wantOK != gotOK || (wantOK && wantEdge != gotEdge) {
+			t.Fatalf("from node %d: engine picked (%d,%v), baseline (%d,%v)",
+				d.Node, gotEdge, gotOK, wantEdge, wantOK)
+		}
+		if gotOK && rs.eng.doorstep[gotEdge] {
+			t.Fatalf("from node %d: parked on doorstep edge %d with free segments available", d.Node, gotEdge)
+		}
+	}
+}
+
+// TestStorageUnderBans: with a stuck-closed and a stuck-open valve the
+// parking policy must keep fluid out of the guarded segments; the resulting
+// schedules (engine and baseline) must validate against the ban set and
+// never route through the banned edges.
+func TestStorageUnderBans(t *testing.T) {
+	c, g := chip.RA30(), assay.CPA()
+	p := Params{BanClosed: []int{2}, BanOpen: []int{7}}
+	closedEdge := c.Valve(2).Edge // never conducts: no transport may cross it
+	openEdge := c.Valve(7).Edge   // conducts but cannot seal: no fluid may park there
+
+	eng, err := NewEngine(c, g, p)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	warm, err := eng.Run(nil, p)
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	base, err := RunBaseline(c, nil, g, p)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	for name, sch := range map[string]*Schedule{"engine": warm, "baseline": base} {
+		if err := ValidateScheduleAvoids(c, g, sch, p.BanClosed, p.BanOpen); err != nil {
+			t.Fatalf("%s schedule violates ban set: %v", name, err)
+		}
+		moves := 0
+		for i, tr := range sch.Transports {
+			for _, e := range tr.Edges {
+				if e == closedEdge {
+					t.Fatalf("%s transport %d routed through stuck-closed edge %d", name, i, e)
+				}
+			}
+			if tr.ConsumerOp < 0 {
+				moves++
+				if last := tr.Edges[len(tr.Edges)-1]; last == closedEdge || last == openEdge {
+					t.Fatalf("%s storage move %d parked on banned edge %d", name, i, last)
+				}
+			}
+		}
+		if moves == 0 {
+			t.Fatalf("%s: ban scenario produced no storage moves; the guarded policy is untested", name)
+		}
+	}
+	if warm.ExecutionTime != base.ExecutionTime {
+		t.Fatalf("makespans diverge under bans: engine %d, baseline %d", warm.ExecutionTime, base.ExecutionTime)
+	}
+}
