@@ -1,0 +1,32 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/cliutil"
+)
+
+// writeBenchArtifact serializes one benchmark report document as indented
+// JSON to outFile ("" = stdout) and returns the process exit code. Every
+// bench mode funnels its report through here so the artifacts share
+// encoder settings: two-space indent and struct-declaration field order
+// (encoding/json emits struct fields in declaration order), which keeps
+// committed BENCH_*.json files diffable across regenerations.
+func writeBenchArtifact(outFile string, doc any) int {
+	w := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return cliutil.Usagef(tool, "%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return cliutil.Fail(tool, err)
+	}
+	return cliutil.ExitOK
+}

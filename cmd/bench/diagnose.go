@@ -15,7 +15,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"reflect"
@@ -216,21 +215,7 @@ func runDiagnose(outFile string) int {
 		doc.Designs = append(doc.Designs, d)
 	}
 
-	w := os.Stdout
-	if outFile != "" {
-		f, err := os.Create(outFile)
-		if err != nil {
-			return cliutil.Usagef(tool, "%v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return cliutil.Fail(tool, err)
-	}
-	return cliutil.ExitOK
+	return writeBenchArtifact(outFile, doc)
 }
 
 // campaignsEqual compares two campaign outputs ignoring wall-clock

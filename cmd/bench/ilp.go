@@ -14,7 +14,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -189,19 +188,5 @@ func runILP(outFile string) int {
 		doc.Models = append(doc.Models, im)
 	}
 
-	w := os.Stdout
-	if outFile != "" {
-		f, err := os.Create(outFile)
-		if err != nil {
-			return cliutil.Usagef(tool, "%v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return cliutil.Fail(tool, err)
-	}
-	return cliutil.ExitOK
+	return writeBenchArtifact(outFile, doc)
 }

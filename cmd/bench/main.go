@@ -7,6 +7,7 @@
 //	bench -diagnose [-out BENCH_diagnose.json]
 //	bench -pso [-out BENCH_pso.json]
 //	bench -sched [-out BENCH_sched.json]
+//	bench -fpva [-out BENCH_fpva.json]
 //
 // With -ilp it instead benchmarks the branch-and-bound ILP engine on the
 // paper's test-path and test-cut models of both example chips (see ilp.go).
@@ -26,6 +27,14 @@
 // seed scheduler vs a fresh engine per call vs one engine reused across a
 // control set — per design, with bit-identity asserted on every schedule
 // and a whole-flow SchedBaseline A/B on the largest design (see sched.go).
+// With -fpva it measures per-valve test-suite generation on a scaling
+// curve of generated FPVA grids (8x8 through 64x64) — the per-valve
+// baseline solver vs the symmetry-exploiting template engine — with a
+// coverage bit-identity gate, worker-count invariance checks, a
+// cross-size template-cache leg and peak-RSS tracking (see fpva.go).
+//
+// Every mode accepts -cpuprofile FILE and -memprofile FILE to capture
+// pprof profiles of the run.
 //
 // Three variants run over the same cold campaign (fresh simulator per
 // iteration): the seed's serial recomputation baseline, the memoized
@@ -39,7 +48,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -83,32 +91,51 @@ func run() int {
 	diagnoseMode := flag.Bool("diagnose", false, "benchmark adaptive fault diagnosis vs exhaustive replay per design instead of the fault campaign")
 	psoMode := flag.Bool("pso", false, "benchmark the two-level PSO fitness engine (serial recompute vs memoized vs batch at 1/2/4/8 workers) instead of the fault campaign")
 	schedMode := flag.Bool("sched", false, "benchmark the warm-start scheduler engine (seed baseline vs cold vs warm) per design instead of the fault campaign")
+	fpvaMode := flag.Bool("fpva", false, "benchmark per-valve suite generation (baseline vs symmetry templates) on a scaling curve of generated FPVA grids instead of the fault campaign")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to FILE")
+	memProfile := flag.String("memprofile", "", "write a heap profile (post-GC) to FILE after the run")
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode, *psoMode, *schedMode} {
+	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode, *psoMode, *schedMode, *fpvaMode} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return cliutil.Usagef(tool, "-ilp, -pressure, -diagnose, -pso and -sched are mutually exclusive")
+		return cliutil.Usagef(tool, "-ilp, -pressure, -diagnose, -pso, -sched and -fpva are mutually exclusive")
 	}
-	if *ilpMode {
-		return runILP(*outFile)
+	stopProfile, err := cliutil.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		return cliutil.Fail(tool, err)
 	}
-	if *pressureMode {
-		return runPressure(*outFile)
+	code := func() int {
+		defer stopProfile()
+		switch {
+		case *ilpMode:
+			return runILP(*outFile)
+		case *pressureMode:
+			return runPressure(*outFile)
+		case *diagnoseMode:
+			return runDiagnose(*outFile)
+		case *psoMode:
+			return runPSO(*outFile)
+		case *schedMode:
+			return runSched(*outFile)
+		case *fpvaMode:
+			return runFPVA(*outFile)
+		default:
+			return runFault(*outFile)
+		}
+	}()
+	if err := cliutil.WriteHeapProfile(*memProfile); err != nil {
+		return cliutil.Fail(tool, err)
 	}
-	if *diagnoseMode {
-		return runDiagnose(*outFile)
-	}
-	if *psoMode {
-		return runPSO(*outFile)
-	}
-	if *schedMode {
-		return runSched(*outFile)
-	}
+	return code
+}
 
+// runFault is the default mode: the fault-simulation campaign engines on
+// the largest bundled design.
+func runFault(outFile string) int {
 	c := chip.MRNA()
 	vectors := fault.BenchCampaignVectors(c)
 	faults := fault.AllFaults(c)
@@ -158,19 +185,5 @@ func run() int {
 			v.name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 
-	w := os.Stdout
-	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			return cliutil.Usagef(tool, "%v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return cliutil.Fail(tool, err)
-	}
-	return cliutil.ExitOK
+	return writeBenchArtifact(outFile, doc)
 }

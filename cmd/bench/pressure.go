@@ -16,7 +16,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -176,19 +175,5 @@ func runPressure(outFile string) int {
 		doc.Designs = append(doc.Designs, pd)
 	}
 
-	w := os.Stdout
-	if outFile != "" {
-		f, err := os.Create(outFile)
-		if err != nil {
-			return cliutil.Usagef(tool, "%v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return cliutil.Fail(tool, err)
-	}
-	return cliutil.ExitOK
+	return writeBenchArtifact(outFile, doc)
 }

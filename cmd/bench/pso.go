@@ -26,7 +26,6 @@ package main
 //	go run ./cmd/bench -pso -out BENCH_pso.json
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -203,19 +202,5 @@ func runPSO(outFile string) int {
 		doc.Designs = append(doc.Designs, d)
 	}
 
-	w := os.Stdout
-	if outFile != "" {
-		f, err := os.Create(outFile)
-		if err != nil {
-			return cliutil.Usagef(tool, "%v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return cliutil.Fail(tool, err)
-	}
-	return cliutil.ExitOK
+	return writeBenchArtifact(outFile, doc)
 }

@@ -31,7 +31,6 @@ package main
 //	go run ./cmd/bench -sched -out BENCH_sched.json
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -266,21 +265,7 @@ func runSched(outFile string) int {
 	}
 	doc.EndToEnd = *e2e
 
-	w := os.Stdout
-	if outFile != "" {
-		f, err := os.Create(outFile)
-		if err != nil {
-			return cliutil.Usagef(tool, "%v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return cliutil.Fail(tool, err)
-	}
-	return cliutil.ExitOK
+	return writeBenchArtifact(outFile, doc)
 }
 
 // runSchedEndToEnd A/Bs the full DFT flow on the largest design: identical

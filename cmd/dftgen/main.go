@@ -5,6 +5,12 @@
 //	dftgen -chip IVD_chip -assay IVD [-seed N] [-iters N] [-particles N] [-ilp]
 //	       [-diagnose] [-reconfigure] [-diagnose-budget N]
 //	       [-timeout 30s] [-inject exact:timeout,heuristic:panic] [-json] [-stats]
+//	dftgen -fpva 16x16 [-fpva-seed N] [-fpva-ports N] [-fpva-ops N] [...]
+//
+// -fpva WxH generates a parametric fully-programmable-valve-array grid
+// chip (deterministic in -fpva-seed, perimeter ports per -fpva-ports)
+// instead of loading a bundled or file chip, paired with a synthetic
+// assay of -fpva-ops operations unless -assay-file overrides it.
 //
 // The flow degrades gracefully: -timeout (or Ctrl-C / SIGTERM) stops the
 // search cooperatively and the best result found so far is still emitted.
@@ -65,6 +71,10 @@ func run() int {
 		diagnose  = flag.Bool("diagnose", false, "run adaptive fault diagnosis over the final test set")
 		reconf    = flag.Bool("reconfigure", false, "reschedule the assay around every diagnosed suspect set (implies -diagnose)")
 		budget    = flag.Int("diagnose-budget", 0, "max vectors the adaptive/greedy diagnosis tiers may apply per fault (0 = unlimited)")
+		fpva      = flag.String("fpva", "", "generate a parametric WxH FPVA grid chip (e.g. -fpva 16x16) instead of -chip/-chip-file")
+		fpvaSeed  = flag.Int64("fpva-seed", 1, "FPVA generator seed (with -fpva)")
+		fpvaPorts = flag.Int("fpva-ports", 0, "FPVA perimeter port count (0 = generator default; with -fpva)")
+		fpvaOps   = flag.Int("fpva-ops", 16, "operation count of the synthetic assay paired with -fpva (unless -assay-file is given)")
 	)
 	flag.Parse()
 
@@ -72,13 +82,30 @@ func run() int {
 	if err != nil {
 		return cliutil.Usagef(tool, "%v", err)
 	}
-	c, err := cliutil.LoadChip(*chipName, *chipFile)
-	if err != nil {
-		return cliutil.Usagef(tool, "%v", err)
+	var c *dft.Chip
+	if *fpva != "" {
+		var w, h int
+		if n, err := fmt.Sscanf(*fpva, "%dx%d", &w, &h); err != nil || n != 2 {
+			return cliutil.Usagef(tool, "-fpva wants WxH, e.g. 16x16, got %q", *fpva)
+		}
+		c, err = dft.GenerateFPVA(dft.FPVAParams{W: w, H: h, Seed: *fpvaSeed, Ports: *fpvaPorts})
+		if err != nil {
+			return cliutil.Usagef(tool, "%v", err)
+		}
+	} else {
+		c, err = cliutil.LoadChip(*chipName, *chipFile)
+		if err != nil {
+			return cliutil.Usagef(tool, "%v", err)
+		}
 	}
-	a, err := cliutil.LoadAssay(*assayName, *assayFile)
-	if err != nil {
-		return cliutil.Usagef(tool, "%v", err)
+	var a *dft.Assay
+	if *fpva != "" && *assayFile == "" {
+		a = dft.SyntheticAssay(*fpvaOps, *fpvaSeed)
+	} else {
+		a, err = cliutil.LoadAssay(*assayName, *assayFile)
+		if err != nil {
+			return cliutil.Usagef(tool, "%v", err)
+		}
 	}
 	if !*asJSON {
 		fmt.Println("chip :", c)

@@ -240,6 +240,69 @@ type (
 	ReconfigSummary  = core.ReconfigSummary
 )
 
+// Per-valve test-suite generation (paths + cuts for every valve under
+// independent control — the pre-DFT campaign the scaling benchmarks
+// measure) and the parametric FPVA grid generator it scales on.
+type (
+	// FPVAParams parameterizes the fully programmable valve-array
+	// generator: an N×M sieve-valve grid with perimeter ports,
+	// deterministic in Seed.
+	FPVAParams = chip.FPVAParams
+	// TestSuite is a complete per-valve vector suite (one path and one
+	// cut per valve where solvable) with its generation statistics.
+	TestSuite = testgen.Suite
+	// TestSuiteOptions tunes suite generation (worker-pool size).
+	TestSuiteOptions = testgen.SuiteOptions
+	// TemplateEngine is the symmetry-exploiting suite generator: valves
+	// are grouped into translation-equivalence classes (closed-form line
+	// classes plus combinatorial tile classes), each class is solved
+	// once, and solved templates persist in a content-keyed cache across
+	// chips. Suites are bit-identical to GenerateSuite's per-valve
+	// fallback for any worker count.
+	TemplateEngine = testgen.TemplateEngine
+	// SuiteRunOptions and SuiteRunResult belong to RunTestSuite, the
+	// observable two-stage pipeline (generate → campaign) over a suite.
+	SuiteRunOptions = core.SuiteRunOptions
+	SuiteRunResult  = core.SuiteRunResult
+)
+
+// GenerateFPVA builds a parametric FPVA chip; it returns an error for
+// degenerate dimensions. MustGenerateFPVA panics instead.
+func GenerateFPVA(p FPVAParams) (*Chip, error) { return chip.GenerateFPVA(p) }
+func MustGenerateFPVA(p FPVAParams) *Chip      { return chip.MustGenerateFPVA(p) }
+
+// SyntheticAssay builds a deterministic synthetic bioassay with the given
+// operation count, sized for generated FPVA chips.
+func SyntheticAssay(ops int, seed int64) *Assay { return assay.Synthetic(ops, seed) }
+
+// GenerateSuite produces a per-valve test suite by solving every valve
+// independently (the baseline engine).
+func GenerateSuite(c *Chip, opts TestSuiteOptions) (*TestSuite, error) {
+	return testgen.GenerateBaseline(c, opts)
+}
+
+// GenerateSuiteTemplates produces the same suite through a fresh
+// symmetry-exploiting template engine; build a TemplateEngine directly to
+// reuse its class cache across chips.
+func GenerateSuiteTemplates(c *Chip, opts TestSuiteOptions) (*TestSuite, error) {
+	return testgen.GenerateTemplates(c, opts)
+}
+
+// NewTemplateEngine returns an empty shared template engine.
+func NewTemplateEngine() *TemplateEngine { return testgen.NewTemplateEngine() }
+
+// RunTestSuite generates a suite and fault-simulates it as an observable
+// two-stage pipeline, with per-stage counters for the template engine's
+// class/cache traffic and the campaign's fast-path rule usage.
+func RunTestSuite(c *Chip, opts SuiteRunOptions) (*SuiteRunResult, error) {
+	return core.RunSuite(c, opts)
+}
+
+// RunTestSuiteCtx is RunTestSuite with cooperative cancellation.
+func RunTestSuiteCtx(ctx context.Context, c *Chip, opts SuiteRunOptions) (*SuiteRunResult, error) {
+	return core.RunSuiteCtx(ctx, c, opts)
+}
+
 // Sentinel errors of the diagnosis/reconfiguration engines.
 var (
 	// ErrDiagnoseBudget reports an adaptive/greedy diagnosis that ran out

@@ -1,0 +1,62 @@
+package assay
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Synthetic generates a deterministic layered bioassay sized for the FPVA
+// campaign workloads: dispense roots feed layers of mix operations that
+// drain into detect leaves, with cross-layer dependencies drawn from seed.
+// The same (ops, seed) always yields the same graph, byte-identical
+// through the loader; ops is clamped to at least 4 (two dispenses, one
+// mix, one detect).
+func Synthetic(ops int, seed int64) *Graph {
+	if ops < 4 {
+		ops = 4
+	}
+	g := New(fmt.Sprintf("synthetic_%d_s%d", ops, seed))
+	rng := rand.New(rand.NewSource(seed))
+
+	nDetect := ops / 8
+	if nDetect < 1 {
+		nDetect = 1
+	}
+	nDispense := ops / 4
+	if nDispense < 2 {
+		nDispense = 2
+	}
+	nMix := ops - nDetect - nDispense
+	if nMix < 1 {
+		nMix = 1
+	}
+
+	var dispense []int
+	for i := 0; i < nDispense; i++ {
+		dispense = append(dispense, g.AddOp(Dispense, fmt.Sprintf("S%d", i), DefaultDispenseTime))
+	}
+	// Mix layers of ~4; each mix consumes two products of earlier ops.
+	prev := dispense
+	var mixes []int
+	for len(mixes) < nMix {
+		width := 4
+		if rem := nMix - len(mixes); rem < width {
+			width = rem
+		}
+		var layer []int
+		for i := 0; i < width; i++ {
+			id := g.AddOp(Mix, fmt.Sprintf("M%d", len(mixes)+i), DefaultMixTime+5*rng.Intn(4))
+			g.AddDep(prev[rng.Intn(len(prev))], id)
+			g.AddDep(prev[rng.Intn(len(prev))], id)
+			layer = append(layer, id)
+		}
+		mixes = append(mixes, layer...)
+		prev = layer
+	}
+	for i := 0; i < nDetect; i++ {
+		id := g.AddOp(Detect, fmt.Sprintf("D%d", i), DefaultDetectTime)
+		g.AddDep(mixes[len(mixes)-1-i%len(mixes)], id)
+	}
+	mustValidate(g)
+	return g
+}

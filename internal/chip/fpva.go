@@ -1,0 +1,148 @@
+package chip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/grid"
+)
+
+// FPVAParams parameterize GenerateFPVA. The zero value of every optional
+// field selects a sensible default, so FPVAParams{W: 32, H: 32} is a
+// complete specification.
+type FPVAParams struct {
+	// W, H are the grid dimensions; both must be at least 4.
+	W, H int
+	// Seed drives device placement. The same params always generate the
+	// same chip, byte-identical through the loader.
+	Seed int64
+	// Ports is the number of perimeter ports, evenly spaced clockwise from
+	// the origin corner. 0 selects max(4, perimeter/4); values are clamped
+	// to [2, perimeter].
+	Ports int
+	// Devices is the number of interior devices. 0 selects
+	// max(3, W*H/64); values are clamped so every device fits on a
+	// distinct interior node.
+	Devices int
+}
+
+// perimeter returns the boundary node count of a w×h grid.
+func perimeter(w, h int) int { return 2*(w+h) - 4 }
+
+// withDefaults validates and normalizes the params.
+func (p FPVAParams) withDefaults() (FPVAParams, error) {
+	if p.W < 4 || p.H < 4 {
+		return p, fmt.Errorf("chip: FPVA needs at least a 4x4 grid, got %dx%d", p.W, p.H)
+	}
+	per := perimeter(p.W, p.H)
+	if p.Ports == 0 {
+		p.Ports = per / 4
+		if p.Ports < 4 {
+			p.Ports = 4
+		}
+	}
+	if p.Ports < 2 {
+		p.Ports = 2
+	}
+	if p.Ports > per {
+		p.Ports = per
+	}
+	interior := (p.W - 2) * (p.H - 2)
+	if p.Devices == 0 {
+		p.Devices = p.W * p.H / 64
+		if p.Devices < 3 {
+			p.Devices = 3
+		}
+	}
+	if p.Devices < 1 {
+		p.Devices = 1
+	}
+	if p.Devices > interior {
+		p.Devices = interior
+	}
+	return p, nil
+}
+
+// boundaryWalk returns the boundary coordinates of a w×h grid in clockwise
+// order starting at (0,0).
+func boundaryWalk(w, h int) []grid.Coord {
+	out := make([]grid.Coord, 0, perimeter(w, h))
+	for x := 0; x < w; x++ {
+		out = append(out, grid.Coord{X: x, Y: 0})
+	}
+	for y := 1; y < h; y++ {
+		out = append(out, grid.Coord{X: w - 1, Y: y})
+	}
+	for x := w - 2; x >= 0; x-- {
+		out = append(out, grid.Coord{X: x, Y: h - 1})
+	}
+	for y := h - 2; y >= 1; y-- {
+		out = append(out, grid.Coord{X: 0, Y: y})
+	}
+	return out
+}
+
+// GenerateFPVA builds a parametric fully programmable valve array (Liu et
+// al.): a W×H sieve-valve grid in which every lattice edge is a valved
+// channel, with Ports evenly spaced perimeter ports and Devices interior
+// devices placed deterministically from Seed. The result is
+// loader-compatible (WriteChip/ReadChip round-trips it) and identical for
+// identical params. FPVA(w, h) remains as the fixed 4-port variant the
+// earlier benchmarks use.
+func GenerateFPVA(p FPVAParams) (*Chip, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(fmt.Sprintf("FPVA_%dx%d_s%d_p%d", p.W, p.H, p.Seed, p.Ports), p.W, p.H)
+
+	// Ports: evenly spaced along the clockwise boundary walk.
+	walk := boundaryWalk(p.W, p.H)
+	for i := 0; i < p.Ports; i++ {
+		c := walk[i*len(walk)/p.Ports]
+		b.AddPort(fmt.Sprintf("P%d", i), c)
+	}
+
+	// Devices: seeded placement on distinct interior nodes; at least one
+	// mixer and one detector when two or more devices fit.
+	rng := rand.New(rand.NewSource(p.Seed))
+	used := make(map[grid.Coord]bool, p.Devices)
+	for i := 0; i < p.Devices; i++ {
+		var c grid.Coord
+		for {
+			c = grid.Coord{X: 1 + rng.Intn(p.W-2), Y: 1 + rng.Intn(p.H-2)}
+			if !used[c] {
+				break
+			}
+		}
+		used[c] = true
+		kind, name := Mixer, fmt.Sprintf("M%d", i)
+		if i == p.Devices-1 || i%3 == 2 {
+			kind, name = Detector, fmt.Sprintf("D%d", i)
+		}
+		b.AddDevice(kind, name, c)
+	}
+
+	// Every lattice edge is a valved channel: the FPVA's defining property.
+	for y := 0; y < p.H; y++ {
+		for x := 0; x+1 < p.W; x++ {
+			b.AddChannel(grid.Coord{X: x, Y: y}, grid.Coord{X: x + 1, Y: y})
+		}
+	}
+	for x := 0; x < p.W; x++ {
+		for y := 0; y+1 < p.H; y++ {
+			b.AddChannel(grid.Coord{X: x, Y: y}, grid.Coord{X: x, Y: y + 1})
+		}
+	}
+	return b.Build()
+}
+
+// MustGenerateFPVA is GenerateFPVA for fixed literal params where failure
+// is a programming error.
+func MustGenerateFPVA(p FPVAParams) *Chip {
+	c, err := GenerateFPVA(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,45 @@
+package cliutil
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops profiling and closes the file. An empty path
+// disables profiling; the returned stop function is never nil, so callers
+// can defer it unconditionally.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live
+// allocations, the pprof convention) and writes the heap profile to path.
+// An empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

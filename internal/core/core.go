@@ -449,6 +449,9 @@ func (f *flow) leaveStage(st *flowstage.StageStats) {
 	st.Count("fault_memo_hits", delta.MemoHits)
 	st.Count("fault_memo_misses", delta.MemoMisses)
 	st.Count("fault_campaigns", delta.Campaigns)
+	st.Count("fault_screen_skips", delta.ScreenSkips)
+	st.Count("fault_reach_checks", delta.ReachChecks)
+	st.Count("fault_bridge_checks", delta.BridgeChecks)
 	obs := f.observer()
 	if delta.MemoHits != 0 || delta.MemoMisses != 0 {
 		obs.CacheDelta(st.Name, "fault_memo", delta.MemoHits, delta.MemoMisses)

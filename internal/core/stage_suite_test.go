@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/testgen"
+)
+
+// TestRunSuiteTemplateFullCoverage: the template pipeline fully covers a
+// generated FPVA grid and reports its work through the stage counters.
+func TestRunSuiteTemplateFullCoverage(t *testing.T) {
+	c := chip.MustGenerateFPVA(chip.FPVAParams{W: 8, H: 8, Seed: 3})
+	res, err := RunSuite(c, SuiteRunOptions{Engine: SuiteEngineTemplate, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suite.Uncovered) != 0 {
+		t.Fatalf("uncovered valves: %v", res.Suite.Uncovered)
+	}
+	if !res.Coverage.Full() {
+		t.Fatalf("coverage not full: %v", res.Coverage)
+	}
+	gen := res.Stats.Stage(StageSuiteGen)
+	if gen == nil {
+		t.Fatalf("missing %s stage", StageSuiteGen)
+	}
+	if gen.Counter("tmpl_classes") == 0 {
+		t.Fatal("tmpl_classes counter not recorded")
+	}
+	if gen.Counter("suite_vectors") != int64(len(res.Suite.Vectors())) {
+		t.Fatalf("suite_vectors=%d, want %d", gen.Counter("suite_vectors"), len(res.Suite.Vectors()))
+	}
+	camp := res.Stats.Stage(StageSuiteCampaign)
+	if camp == nil {
+		t.Fatalf("missing %s stage", StageSuiteCampaign)
+	}
+	if camp.Counter("fault_campaigns") == 0 {
+		t.Fatal("fault_campaigns counter not recorded")
+	}
+	if camp.Counter("cov_total") != int64(res.Coverage.Total) {
+		t.Fatalf("cov_total=%d, want %d", camp.Counter("cov_total"), res.Coverage.Total)
+	}
+	if res.Metrics.BridgeChecks == 0 || res.Metrics.ReachChecks == 0 {
+		t.Fatalf("fast-path rules unused: %+v", res.Metrics)
+	}
+}
+
+// TestRunSuiteEnginesAgree: baseline and template pipelines produce the
+// same coverage on the same chip.
+func TestRunSuiteEnginesAgree(t *testing.T) {
+	c := chip.MustGenerateFPVA(chip.FPVAParams{W: 6, H: 8, Seed: 11})
+	tmpl, err := RunSuite(c, SuiteRunOptions{Engine: SuiteEngineTemplate, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunSuite(c, SuiteRunOptions{Engine: SuiteEngineBaseline, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tmpl.Coverage, base.Coverage) {
+		t.Fatalf("coverage mismatch: template %v, baseline %v", tmpl.Coverage, base.Coverage)
+	}
+	if !reflect.DeepEqual(tmpl.Suite.Uncovered, base.Suite.Uncovered) {
+		t.Fatalf("uncovered mismatch: template %v, baseline %v",
+			tmpl.Suite.Uncovered, base.Suite.Uncovered)
+	}
+}
+
+// TestRunSuiteSharedTemplateEngine: a shared engine re-serves its cached
+// classes to a second identical chip.
+func TestRunSuiteSharedTemplateEngine(t *testing.T) {
+	eng := testgen.NewTemplateEngine()
+	c := chip.MustGenerateFPVA(chip.FPVAParams{W: 8, H: 8, Seed: 5})
+	first, err := RunSuite(c, SuiteRunOptions{Workers: 1, Templates: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunSuite(c, SuiteRunOptions{Workers: 1, Templates: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Stats.Stage(StageSuiteGen).Counter("tmpl_cache_hits"); got != 0 {
+		t.Fatalf("first run hit the cache %d times", got)
+	}
+	hits := second.Stats.Stage(StageSuiteGen).Counter("tmpl_cache_hits")
+	classes := second.Stats.Stage(StageSuiteGen).Counter("tmpl_classes")
+	if hits != classes || classes == 0 {
+		t.Fatalf("second run: %d hits for %d classes", hits, classes)
+	}
+	if !reflect.DeepEqual(first.Suite.Paths, second.Suite.Paths) {
+		t.Fatal("cached run produced different path vectors")
+	}
+}
+
+// TestRunSuiteUnknownEngine rejects a bad engine name up front.
+func TestRunSuiteUnknownEngine(t *testing.T) {
+	c := chip.MustGenerateFPVA(chip.FPVAParams{W: 6, H: 6, Seed: 1})
+	if _, err := RunSuite(c, SuiteRunOptions{Engine: "ilp"}); err == nil {
+		t.Fatal("expected error for unknown engine")
+	}
+}
+
+// TestRunSuiteCancelled: an expired context aborts the pipeline.
+func TestRunSuiteCancelled(t *testing.T) {
+	c := chip.MustGenerateFPVA(chip.FPVAParams{W: 8, H: 8, Seed: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSuiteCtx(ctx, c, SuiteRunOptions{Workers: 2}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// randomVector draws a vector with random kind, valve set, and port sets,
+// including multi-source/multi-meter and degenerate (unusable) shapes.
+func randomVector(rng *rand.Rand, c *chip.Chip) Vector {
+	kind := PathVector
+	if rng.Intn(2) == 1 {
+		kind = CutVector
+	}
+	nv := rng.Intn(c.NumValves() + 1)
+	seen := map[int]bool{}
+	var valves []int
+	for len(valves) < nv {
+		v := rng.Intn(c.NumValves())
+		if !seen[v] {
+			seen[v] = true
+			valves = append(valves, v)
+		}
+	}
+	pick := func(n int) []int {
+		var out []int
+		used := map[int]bool{}
+		for len(out) < n {
+			p := rng.Intn(len(c.Ports))
+			if !used[p] {
+				used[p] = true
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	nSrc := 1 + rng.Intn(2)
+	nMet := 1 + rng.Intn(2)
+	if nSrc+nMet > len(c.Ports) {
+		nSrc, nMet = 1, 1
+	}
+	return Vector{Kind: kind, Valves: valves, Sources: pick(nSrc), Meters: pick(nMet)}
+}
+
+// TestDetectsFastPathEquivalence pins the campaign fast path (saturation
+// screen + single-edge reach rule) to the seed's memo-free simulation on
+// random chips, random vectors and every fault kind, under independent
+// and shared control.
+func TestDetectsFastPathEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		c := chip.Random(rng)
+		ctrls := []*chip.Control{chip.IndependentControl(c)}
+		// A chip with DFT valves exercises sharing-induced masking too.
+		aug := c.Clone()
+		added := 0
+		for e := 0; e < aug.Grid.NumEdges() && added < 3; e++ {
+			if _, ok := aug.ValveOnEdge(e); !ok {
+				if _, err := aug.AddDFTChannel(e); err == nil {
+					added++
+				}
+			}
+		}
+		partners := make([]int, aug.NumDFTValves())
+		for i := range partners {
+			partners[i] = i % aug.NumOriginalValves()
+		}
+		if sc, err := chip.SharedControl(aug, partners); err == nil {
+			ctrls = append(ctrls, sc)
+		}
+		for _, ctrl := range ctrls {
+			cc := ctrl.Chip()
+			sim := MustSimulator(cc, ctrl)
+			for i := 0; i < 30; i++ {
+				v := randomVector(rng, cc)
+				for _, kind := range []Kind{StuckAt0, StuckAt1, Leakage} {
+					valve := rng.Intn(cc.NumValves())
+					f := Fault{Kind: kind, Valve: valve}
+					got := sim.Detects(v, f)
+					want := sim.detectsNoMemo(v, f)
+					if got != want {
+						t.Fatalf("chip %s trial %d: Detects(%v, %v) = %v, memo-free says %v",
+							cc.Name, trial, v, f, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathCoverageMatchesBaseline runs whole campaigns on the bundled
+// designs and checks the engine (with the fast path) still produces
+// bit-identical Coverage to the serial memo-free baseline.
+func TestFastPathCoverageMatchesBaseline(t *testing.T) {
+	for _, c := range chip.Benchmarks() {
+		vectors := BenchCampaignVectors(c)
+		faults := AllFaultsOfKinds(c, StuckAt0, StuckAt1, Leakage)
+		simA := MustSimulator(c, chip.IndependentControl(c))
+		simB := MustSimulator(c, chip.IndependentControl(c))
+		want := EvaluateCoverageBaseline(simA, vectors, faults)
+		for _, workers := range []int{1, 4} {
+			got := NewEngine(simB, workers).EvaluateCoverage(vectors, faults)
+			if got.Total != want.Total || got.Detected != want.Detected || len(got.Undetected) != len(want.Undetected) {
+				t.Fatalf("%s workers=%d: coverage %+v != baseline %+v", c.Name, workers, got, want)
+			}
+			for i := range got.Undetected {
+				if got.Undetected[i] != want.Undetected[i] {
+					t.Fatalf("%s workers=%d: Undetected[%d] = %v != %v", c.Name, workers, i, got.Undetected[i], want.Undetected[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathMetrics checks the screen/reach-rule counters move during a
+// campaign (the scaling bench reports them as "pressure solves avoided").
+func TestFastPathMetrics(t *testing.T) {
+	c := chip.IVD()
+	m := NewMetrics()
+	sim := MustSimulator(c, chip.IndependentControl(c))
+	sim.SetMetrics(m)
+	NewEngine(sim, 1).EvaluateCoverage(BenchCampaignVectors(c), AllFaults(c))
+	snap := m.Snapshot()
+	if snap.ScreenSkips+snap.ReachChecks == 0 {
+		t.Fatalf("fast path never engaged: %+v", snap)
+	}
+}

@@ -135,11 +135,20 @@ type Simulator struct {
 }
 
 // vectorEval memoizes the fault-free artifacts of one vector. It is
-// immutable once stored in the cache and may be read concurrently.
+// immutable once stored in the cache (the lazy reach-set analysis is
+// built under analyzeOnce) and may be read concurrently.
 type vectorEval struct {
 	open     []bool // actual valve states after sharing expansion
 	readings []bool // defect-free meter readings
 	usable   bool   // FaultFreeOK
+	anyTrue  bool   // some defect-free reading is true
+	anyFalse bool   // some defect-free reading is false
+
+	analyzeOnce sync.Once
+	analysis    *vectorAnalysis // fault-free reach sets (see fastpath.go)
+
+	bridgeOnce sync.Once
+	bridges    *bridgeAnalysis // bridge structure of the open subgraph
 }
 
 // ErrControlMismatch reports a control assignment built for a different
@@ -270,6 +279,13 @@ func (s *Simulator) evalVector(v Vector) *vectorEval {
 	open := s.OpenStates(v)
 	readings := s.meterReadings(v, open)
 	ev = &vectorEval{open: open, readings: readings, usable: usableReadings(v.Kind, readings)}
+	for _, r := range readings {
+		if r {
+			ev.anyTrue = true
+		} else {
+			ev.anyFalse = true
+		}
+	}
 	s.mu.Lock()
 	if prev, raced := s.cache[key]; raced {
 		ev = prev // another goroutine computed it first; keep one instance
@@ -322,32 +338,6 @@ func (s *Simulator) Detects(v Vector, f Fault) bool {
 	det := s.detectsEval(v, ev, f, sc)
 	s.putScratch(sc)
 	return det
-}
-
-// detectsEval is Detects over a memoized fault-free evaluation with
-// caller-owned scratch buffers — the campaign hot path.
-func (s *Simulator) detectsEval(v Vector, ev *vectorEval, f Fault, sc *campaignScratch) bool {
-	faulty := ev.open[f.Valve]
-	switch f.Kind {
-	case StuckAt0:
-		faulty = false
-	case StuckAt1, Leakage:
-		faulty = true
-	}
-	if faulty == ev.open[f.Valve] {
-		// The fault does not change the applied states, so no reading can
-		// differ.
-		return false
-	}
-	sc.open = append(sc.open[:0], ev.open...)
-	sc.open[f.Valve] = faulty
-	sc.readings = s.meterReadingsInto(v, sc.open, &sc.reach, sc.readings[:0])
-	for i, good := range ev.readings {
-		if good != sc.readings[i] {
-			return true
-		}
-	}
-	return false
 }
 
 // Coverage summarizes a fault-simulation campaign.

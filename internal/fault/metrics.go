@@ -8,10 +8,13 @@ import "sync/atomic"
 // rate per stage. All counters are atomic; a nil *Metrics is a valid
 // no-op receiver for the increment methods used on hot paths.
 type Metrics struct {
-	memoHits   atomic.Int64
-	memoMisses atomic.Int64
-	campaigns  atomic.Int64
-	faultScans atomic.Int64
+	memoHits     atomic.Int64
+	memoMisses   atomic.Int64
+	campaigns    atomic.Int64
+	faultScans   atomic.Int64
+	screenSkips  atomic.Int64
+	reachChecks  atomic.Int64
+	bridgeChecks atomic.Int64
 }
 
 // NewMetrics returns a zeroed Metrics.
@@ -36,6 +39,30 @@ func (m *Metrics) noteCampaign(faults int) {
 	m.faultScans.Add(int64(faults))
 }
 
+// noteScreen counts a (vector, fault) verdict settled by the saturation
+// screen; noteReachRule one settled by the single-edge reach rule. Both
+// replace a full faulty-chip simulation (see fastpath.go).
+func (m *Metrics) noteScreen() {
+	if m == nil {
+		return
+	}
+	m.screenSkips.Add(1)
+}
+
+func (m *Metrics) noteReachRule() {
+	if m == nil {
+		return
+	}
+	m.reachChecks.Add(1)
+}
+
+func (m *Metrics) noteBridgeRule() {
+	if m == nil {
+		return
+	}
+	m.bridgeChecks.Add(1)
+}
+
 // MetricsSnapshot is a point-in-time copy of the counters; subtract two
 // snapshots to attribute traffic to a phase.
 type MetricsSnapshot struct {
@@ -45,6 +72,11 @@ type MetricsSnapshot struct {
 	// Campaigns counts EvaluateCoverage campaigns; FaultScans the faults
 	// those campaigns examined.
 	Campaigns, FaultScans int64
+	// ScreenSkips counts (vector, fault) verdicts settled by the saturation
+	// screen; ReachChecks those settled by the single-edge reach rule;
+	// BridgeChecks those settled by the bridge rule. All three replace a
+	// full faulty-chip BFS.
+	ScreenSkips, ReachChecks, BridgeChecks int64
 }
 
 // Snapshot returns the current counter values. Snapshot on a nil Metrics
@@ -54,20 +86,26 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		return MetricsSnapshot{}
 	}
 	return MetricsSnapshot{
-		MemoHits:   m.memoHits.Load(),
-		MemoMisses: m.memoMisses.Load(),
-		Campaigns:  m.campaigns.Load(),
-		FaultScans: m.faultScans.Load(),
+		MemoHits:     m.memoHits.Load(),
+		MemoMisses:   m.memoMisses.Load(),
+		Campaigns:    m.campaigns.Load(),
+		FaultScans:   m.faultScans.Load(),
+		ScreenSkips:  m.screenSkips.Load(),
+		ReachChecks:  m.reachChecks.Load(),
+		BridgeChecks: m.bridgeChecks.Load(),
 	}
 }
 
 // Sub returns the counter deltas since base.
 func (s MetricsSnapshot) Sub(base MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
-		MemoHits:   s.MemoHits - base.MemoHits,
-		MemoMisses: s.MemoMisses - base.MemoMisses,
-		Campaigns:  s.Campaigns - base.Campaigns,
-		FaultScans: s.FaultScans - base.FaultScans,
+		MemoHits:     s.MemoHits - base.MemoHits,
+		MemoMisses:   s.MemoMisses - base.MemoMisses,
+		Campaigns:    s.Campaigns - base.Campaigns,
+		FaultScans:   s.FaultScans - base.FaultScans,
+		ScreenSkips:  s.ScreenSkips - base.ScreenSkips,
+		ReachChecks:  s.ReachChecks - base.ReachChecks,
+		BridgeChecks: s.BridgeChecks - base.BridgeChecks,
 	}
 }
 

@@ -112,6 +112,15 @@ func (g *Graph) Neighbors(u int) []Arc {
 	return out
 }
 
+// Adjacency returns u's internal arc slice, including arcs of deleted
+// edges — callers must filter with EdgeDeleted. The returned slice must
+// not be modified and is valid until the next AddEdge or AddNode. It
+// exists for allocation-free traversals (Neighbors copies).
+func (g *Graph) Adjacency(u int) []Arc {
+	g.checkNode(u)
+	return g.adj[u]
+}
+
 // IncidentEdges returns the live edge IDs incident to u, sorted ascending.
 func (g *Graph) IncidentEdges(u int) []int {
 	arcs := g.Neighbors(u)

@@ -1,0 +1,46 @@
+package testgen
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func benchSuite(b *testing.B, w, h int, gen func(*chip.Chip) (*Suite, error)) {
+	b.Helper()
+	c := chip.MustGenerateFPVA(chip.FPVAParams{W: w, H: h, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := gen(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Uncovered) != 0 {
+			b.Fatalf("uncovered valves: %v", s.Uncovered)
+		}
+	}
+}
+
+func BenchmarkSuiteBaseline16(b *testing.B) {
+	benchSuite(b, 16, 16, func(c *chip.Chip) (*Suite, error) {
+		return GenerateBaseline(c, SuiteOptions{Workers: 1})
+	})
+}
+
+func BenchmarkSuiteTemplate16(b *testing.B) {
+	benchSuite(b, 16, 16, func(c *chip.Chip) (*Suite, error) {
+		return GenerateTemplates(c, SuiteOptions{Workers: 1})
+	})
+}
+
+func BenchmarkSuiteBaseline32(b *testing.B) {
+	benchSuite(b, 32, 32, func(c *chip.Chip) (*Suite, error) {
+		return GenerateBaseline(c, SuiteOptions{Workers: 1})
+	})
+}
+
+func BenchmarkSuiteTemplate32(b *testing.B) {
+	benchSuite(b, 32, 32, func(c *chip.Chip) (*Suite, error) {
+		return GenerateTemplates(c, SuiteOptions{Workers: 1})
+	})
+}
