@@ -1,0 +1,48 @@
+package main
+
+// baseline.go implements the -baseline regression gate shared by the
+// modes with committed JSON artifacts (-cache, -fpva): the fresh run's
+// headline speedups must stay within baselineTolerance of the committed
+// numbers, so a refactor that silently halves a cache or template win
+// fails CI instead of shipping.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// baselineTolerance is the allowed regression: a fresh speedup may drop
+// to this fraction of the committed baseline before the gate trips.
+// Generous on purpose — CI machines are slower and noisier than the
+// machines baselines are recorded on; the gate catches algorithmic
+// regressions (2x+), not scheduling jitter.
+const baselineTolerance = 0.5
+
+// readBaseline decodes the committed benchmark artifact into doc.
+func readBaseline(path string, doc any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return nil
+}
+
+// gateRatio fails when fresh < base*baselineTolerance. A zero or missing
+// baseline value gates nothing (new fields stay compatible with old
+// artifacts).
+func gateRatio(name string, fresh, base float64) error {
+	if base <= 0 {
+		return nil
+	}
+	if fresh < base*baselineTolerance {
+		return fmt.Errorf("baseline gate failed: %s %.2fx is below %.0f%% of committed %.2fx",
+			name, fresh, 100*baselineTolerance, base)
+	}
+	fmt.Fprintf(os.Stderr, "baseline gate: %s %.2fx vs committed %.2fx (floor %.0f%%) ok\n",
+		name, fresh, base, 100*baselineTolerance)
+	return nil
+}

@@ -7,7 +7,8 @@
 //	bench -diagnose [-out BENCH_diagnose.json]
 //	bench -pso [-out BENCH_pso.json]
 //	bench -sched [-out BENCH_sched.json]
-//	bench -fpva [-out BENCH_fpva.json]
+//	bench -fpva [-out BENCH_fpva.json] [-baseline BENCH_fpva.json]
+//	bench -cache [-out BENCH_cache.json] [-baseline BENCH_cache.json]
 //
 // With -ilp it instead benchmarks the branch-and-bound ILP engine on the
 // paper's test-path and test-cut models of both example chips (see ilp.go).
@@ -32,6 +33,13 @@
 // baseline solver vs the symmetry-exploiting template engine — with a
 // coverage bit-identity gate, worker-count invariance checks, a
 // cross-size template-cache leg and peak-RSS tracking (see fpva.go).
+// With -cache it measures the content-addressed artifact cache: per
+// bundled design the DFT flow uncached vs cold/warm-memory/warm-disk
+// through the cache (bit-identity gated, warm-disk must skip every solve
+// stage), plus a 75%-duplicate 32-job batch leg serial vs core.RunBatch
+// with worker-count determinism checks (see cache.go). -cache and -fpva
+// accept -baseline FILE to additionally gate the fresh speedups against
+// a committed artifact (fresh >= 50% of committed, see baseline.go).
 //
 // Every mode accepts -cpuprofile FILE and -memprofile FILE to capture
 // pprof profiles of the run.
@@ -92,17 +100,22 @@ func run() int {
 	psoMode := flag.Bool("pso", false, "benchmark the two-level PSO fitness engine (serial recompute vs memoized vs batch at 1/2/4/8 workers) instead of the fault campaign")
 	schedMode := flag.Bool("sched", false, "benchmark the warm-start scheduler engine (seed baseline vs cold vs warm) per design instead of the fault campaign")
 	fpvaMode := flag.Bool("fpva", false, "benchmark per-valve suite generation (baseline vs symmetry templates) on a scaling curve of generated FPVA grids instead of the fault campaign")
+	cacheMode := flag.Bool("cache", false, "benchmark the content-addressed artifact cache (uncached vs cold/warm flow runs, dedup batch submission) instead of the fault campaign")
+	baselineFile := flag.String("baseline", "", "with -cache or -fpva: gate the fresh speedups against this committed JSON artifact")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to FILE")
 	memProfile := flag.String("memprofile", "", "write a heap profile (post-GC) to FILE after the run")
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode, *psoMode, *schedMode, *fpvaMode} {
+	for _, m := range []bool{*ilpMode, *pressureMode, *diagnoseMode, *psoMode, *schedMode, *fpvaMode, *cacheMode} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return cliutil.Usagef(tool, "-ilp, -pressure, -diagnose, -pso, -sched and -fpva are mutually exclusive")
+		return cliutil.Usagef(tool, "-ilp, -pressure, -diagnose, -pso, -sched, -fpva and -cache are mutually exclusive")
+	}
+	if *baselineFile != "" && !*fpvaMode && !*cacheMode {
+		return cliutil.Usagef(tool, "-baseline is only meaningful with -cache or -fpva")
 	}
 	stopProfile, err := cliutil.StartCPUProfile(*cpuProfile)
 	if err != nil {
@@ -122,7 +135,9 @@ func run() int {
 		case *schedMode:
 			return runSched(*outFile)
 		case *fpvaMode:
-			return runFPVA(*outFile)
+			return runFPVA(*outFile, *baselineFile)
+		case *cacheMode:
+			return runCache(*outFile, *baselineFile)
 		default:
 			return runFault(*outFile)
 		}

@@ -2,10 +2,13 @@
 // benchmark chip's connection grid.
 //
 //	chipinfo -chip IVD_chip [-dft] [-timeout 10s] [-workers 4]
+//	         [-cache-dir DIR] [-cache-mb N]
 //
 // With -dft the chip is first augmented for single-source single-meter
 // testability; added channels render as == and :, and the test set's
 // fault coverage is verified on the -workers-sized parallel engine.
+// -cache-dir enables the persistent artifact cache: a rerun loads the
+// augmentation and cut cover from disk instead of re-solving.
 //
 // Exit codes: 0 success; 1 error; 2 usage; 4 cancelled (Ctrl-C, SIGTERM
 // or -timeout expired during augmentation).
@@ -30,24 +33,30 @@ func main() {
 func run() int {
 	name := flag.String("chip", "IVD_chip", "IVD_chip, RA30_chip or mRNA_chip")
 	showDFT := flag.Bool("dft", false, "augment for DFT before rendering")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for augmentation (0 = none)")
-	workers := flag.Int("workers", 0, "fault-simulation worker-pool size for the -dft coverage check (0 = all CPU cores)")
+	rf := cliutil.AddRunFlags()
 	flag.Parse()
 	c, err := cliutil.LoadChip(*name, "")
 	if err != nil {
 		return cliutil.Usagef(tool, "%v", err)
 	}
-	var aug *dft.Augmentation
+	var ts *dft.TestSet
 	if *showDFT {
-		ctx, stop := cliutil.SignalContext(*timeout)
+		ctx, stop := rf.Context()
 		defer stop()
-		aug, err = dft.AugmentCtx(ctx, c, false)
+		cache, err := rf.OpenCache()
 		if err != nil {
 			return cliutil.Fail(tool, err)
 		}
-		c = aug.Chip
+		ts, err = dft.BuildTestSetCtx(ctx, c, false, rf.Workers, cache)
+		if err != nil {
+			return cliutil.Fail(tool, err)
+		}
+		c = ts.Aug.Chip
 		fmt.Printf("augmented for test between %s and %s\n",
-			c.Ports[aug.Source].Name, c.Ports[aug.Meter].Name)
+			c.Ports[ts.Aug.Source].Name, c.Ports[ts.Aug.Meter].Name)
+		if ts.Tier != "" {
+			fmt.Printf("(test set served from %s artifact cache)\n", ts.Tier)
+		}
 	}
 	fmt.Println(c)
 	fmt.Println()
@@ -67,19 +76,15 @@ func run() int {
 	a, b := c.MaxDistantPortPair()
 	fmt.Printf("farthest port pair (test source/meter): %s and %s\n", c.Ports[a].Name, c.Ports[b].Name)
 
-	if aug != nil {
-		cuts, err := dft.GenerateCuts(c, aug.Source, aug.Meter)
-		if err != nil {
-			return cliutil.Fail(tool, err)
-		}
+	if ts != nil {
 		sim, err := dft.NewSimulator(c, nil)
 		if err != nil {
 			return cliutil.Fail(tool, err)
 		}
-		vectors := append(aug.PathVectors(), cuts...)
-		cov := dft.NewEngine(sim, *workers).EvaluateCoverage(vectors, dft.AllFaults(c))
+		vectors := append(ts.Aug.PathVectors(), ts.Cuts...)
+		cov := dft.NewEngine(sim, rf.Workers).EvaluateCoverage(vectors, dft.AllFaults(c))
 		fmt.Printf("test set: %d vectors (%d paths, %d cuts), %v\n",
-			len(vectors), aug.NumPaths(), len(cuts), cov)
+			len(vectors), ts.Aug.NumPaths(), len(ts.Cuts), cov)
 	}
 	return cliutil.ExitOK
 }

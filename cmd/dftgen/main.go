@@ -5,7 +5,14 @@
 //	dftgen -chip IVD_chip -assay IVD [-seed N] [-iters N] [-particles N] [-ilp]
 //	       [-diagnose] [-reconfigure] [-diagnose-budget N]
 //	       [-timeout 30s] [-inject exact:timeout,heuristic:panic] [-json] [-stats]
+//	       [-cache-dir DIR] [-cache-mb N] [-memo-mb N]
 //	dftgen -fpva 16x16 [-fpva-seed N] [-fpva-ports N] [-fpva-ops N] [...]
+//
+// -cache-dir enables the persistent content-addressed artifact cache: a
+// rerun with identical inputs loads the finalized result from disk and
+// skips every solve stage (the synthesized "artifact" stage in -stats
+// shows the hit tier). -cache-mb bounds the in-memory tier and -memo-mb
+// the per-flow memoization caches.
 //
 // -fpva WxH generates a parametric fully-programmable-valve-array grid
 // chip (deterministic in -fpva-seed, perimeter ports per -fpva-ports)
@@ -65,9 +72,7 @@ func run() int {
 		useILP    = flag.Bool("ilp", false, "use the exact ILP for the reference configuration")
 		asJSON    = flag.Bool("json", false, "emit the result as a JSON test program")
 		stats     = flag.Bool("stats", false, "report the per-stage runtime breakdown of the flow pipeline")
-		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the best result so far is emitted")
 		injectStr = flag.String("inject", "", "force faults in the augmentation chain, e.g. exact:timeout,heuristic:panic (degradation drills)")
-		workers   = flag.Int("workers", 0, "fault-simulation, ILP and PSO-generation worker-pool size (0 = all CPU cores)")
 		diagnose  = flag.Bool("diagnose", false, "run adaptive fault diagnosis over the final test set")
 		reconf    = flag.Bool("reconfigure", false, "reschedule the assay around every diagnosed suspect set (implies -diagnose)")
 		budget    = flag.Int("diagnose-budget", 0, "max vectors the adaptive/greedy diagnosis tiers may apply per fault (0 = unlimited)")
@@ -76,6 +81,7 @@ func run() int {
 		fpvaPorts = flag.Int("fpva-ports", 0, "FPVA perimeter port count (0 = generator default; with -fpva)")
 		fpvaOps   = flag.Int("fpva-ops", 16, "operation count of the synthetic assay paired with -fpva (unless -assay-file is given)")
 	)
+	rf := cliutil.AddRunFlags()
 	flag.Parse()
 
 	inject, err := solve.ParseInjections(*injectStr)
@@ -112,19 +118,25 @@ func run() int {
 		fmt.Println("assay:", a)
 	}
 
-	ctx, stop := cliutil.SignalContext(*timeout)
+	ctx, stop := rf.Context()
 	defer stop()
 
+	cache, err := rf.OpenCache()
+	if err != nil {
+		return cliutil.Fail(tool, err)
+	}
 	res, err := dft.RunCtx(ctx, c, a, core.Options{
 		Outer:          pso.Config{Particles: *particles, Iterations: *iters},
 		Inner:          pso.Config{Particles: *particles, Iterations: 8},
 		Seed:           *seed,
 		UseILP:         *useILP,
 		Inject:         inject,
-		Workers:        *workers,
+		Workers:        rf.Workers,
 		Diagnose:       *diagnose,
 		DiagnoseBudget: *budget,
 		Reconfigure:    *reconf,
+		Cache:          cache,
+		MemoBytes:      rf.MemoBytes(),
 	})
 	if err != nil {
 		return cliutil.Fail(tool, err)
@@ -197,7 +209,7 @@ func run() int {
 		return cliutil.Fail(tool, err)
 	}
 	vectors := append(append([]dft.Vector{}, res.PathVectors...), res.CutVectors...)
-	cov := dft.NewEngine(sim, *workers).EvaluateCoverage(vectors, dft.AllFaults(res.Aug.Chip))
+	cov := dft.NewEngine(sim, rf.Workers).EvaluateCoverage(vectors, dft.AllFaults(res.Aug.Chip))
 	fmt.Printf("fault coverage under sharing: %v\n", cov)
 
 	fmt.Println()

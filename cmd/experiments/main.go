@@ -17,6 +17,12 @@
 //
 // -stats prints each flow's per-stage runtime breakdown to stderr (kept
 // off stdout so -out archives stay free of run-to-run timing noise).
+//
+// -cache-dir enables the persistent artifact cache: on a warm rerun with
+// identical PSO/solver parameters every flow result loads from disk and
+// the whole report regenerates in milliseconds, bit-identical to a cold
+// run. -cache-mb bounds the in-memory tier; -memo-mb bounds the flow's
+// fault-simulation memo tables.
 package main
 
 import (
@@ -58,11 +64,10 @@ func main() {
 		particles = flag.Int("particles", 5, "PSO particles per level")
 		seed      = flag.Int64("seed", 2018, "random seed")
 		useILP    = flag.Bool("ilp", false, "solve the exact augmentation ILP for the reference configuration")
-		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); interrupted runs report their best result so far")
-		workers   = flag.Int("workers", 0, "fault-simulation, ILP and PSO-generation worker-pool size (0 = all CPU cores)")
 		outFile   = flag.String("out", "", "tee the report to FILE as well as stdout (regenerates docs/experiments_output.txt)")
 		stats     = flag.Bool("stats", false, "print each flow's per-stage runtime breakdown to stderr")
 	)
+	rf := cliutil.AddRunFlags()
 	flag.Parse()
 	if !*table1 && !*fig7 && !*fig8 && !*fig9 && !*controlF && !*all {
 		flag.Usage()
@@ -77,15 +82,21 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 	showStats = *stats
+	artCache, err := rf.OpenCache()
+	if err != nil {
+		os.Exit(cliutil.Fail("experiments", err))
+	}
 	opts := core.Options{
-		Outer:   pso.Config{Particles: *particles, Iterations: *iters},
-		Inner:   pso.Config{Particles: *particles, Iterations: 8},
-		Seed:    *seed,
-		UseILP:  *useILP,
-		Workers: *workers,
+		Outer:     pso.Config{Particles: *particles, Iterations: *iters},
+		Inner:     pso.Config{Particles: *particles, Iterations: 8},
+		Seed:      *seed,
+		UseILP:    *useILP,
+		Workers:   rf.Workers,
+		Cache:     artCache,
+		MemoBytes: rf.MemoBytes(),
 	}
 
-	ctx, stop := cliutil.SignalContext(*timeout)
+	ctx, stop := rf.Context()
 	defer stop()
 	flowCtx = ctx
 

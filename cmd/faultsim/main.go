@@ -5,6 +5,12 @@
 //
 //	faultsim -chip RA30_chip [-matrix] [-baseline] [-leakage] [-diagnose] [-reconfigure]
 //	         [-assay PID] [-budget 8] [-min-coverage 0.95] [-timeout 30s] [-workers 4] [-stats]
+//	         [-cache-dir DIR] [-cache-mb N]
+//
+// -cache-dir enables the persistent artifact cache: the augmentation and
+// cut cover (one content-addressed test-set artifact, keyed by chip and
+// -optimal) load from disk on a warm rerun instead of re-solving — the
+// exact ILP cover in particular. The campaign itself always runs.
 //
 // The campaign runs on the parallel memoized engine; -workers sizes the
 // worker pool (default: all CPU cores). Coverage output is bit-identical
@@ -62,8 +68,6 @@ func run() int {
 		matrix   = flag.Bool("matrix", false, "print the fault x vector detection matrix")
 		baseline = flag.Bool("baseline", false, "also run the multi-instrument baseline on the original chip")
 		optimal  = flag.Bool("optimal", false, "use the exact minimum cut-set cover (ILP) instead of the greedy one")
-		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
-		workers  = flag.Int("workers", 0, "fault-simulation, pressure-solve, ILP and PSO-generation worker-pool size (0 = all CPU cores)")
 		stats    = flag.Bool("stats", false, "report the per-stage breakdown of the campaign (incl. memo-cache hit rate)")
 		leakage  = flag.Bool("leakage", false, "quantify membrane-leakage detectability of the cut vectors on the sparse pressure engine")
 		diag     = flag.Bool("diagnose", false, "adaptively localize every fault with information-gain test selection")
@@ -72,6 +76,7 @@ func run() int {
 		budget   = flag.Int("budget", 0, "max vectors the adaptive/greedy diagnosis tiers may apply per fault (0 = unlimited)")
 		minCov   = flag.Float64("min-coverage", 0, "exit with code 3 when coverage falls below this fraction in [0,1]")
 	)
+	rf := cliutil.AddRunFlags()
 	flag.Parse()
 	if *minCov < 0 || *minCov > 1 {
 		return cliutil.Usagef(tool, "-min-coverage %v outside [0,1]", *minCov)
@@ -91,13 +96,19 @@ func run() int {
 	}
 	fmt.Println("chip:", c)
 
-	ctx, stop := cliutil.SignalContext(*timeout)
+	ctx, stop := rf.Context()
 	defer stop()
+
+	cache, err := rf.OpenCache()
+	if err != nil {
+		return cliutil.Fail(tool, err)
+	}
 
 	// The campaign runs as an instrumented three-stage pipeline so -stats
 	// can attribute wall-clock and memo-cache traffic per phase.
 	metrics := fault.NewMetrics()
 	var (
+		ts      *dft.TestSet
 		aug     *dft.Augmentation
 		cuts    []dft.Vector
 		vectors []dft.Vector
@@ -119,6 +130,23 @@ func run() int {
 	pipe := &flowstage.Pipeline{Stages: []flowstage.Stage{
 		{Name: "augment", Run: func(ctx context.Context, st *flowstage.StageStats) error {
 			var err error
+			if cache != nil {
+				// The cached path builds augmentation AND cut cover as one
+				// content-addressed artifact: a warm rerun (same chip and
+				// -optimal flag) skips both solves.
+				ts, err = dft.BuildTestSetCtx(ctx, c, *optimal, rf.Workers, cache)
+				if err != nil {
+					return err
+				}
+				aug, cuts = ts.Aug, ts.Cuts
+				if ts.Tier != "" {
+					st.Count("art_"+ts.Tier+"_hits", 1)
+				} else {
+					st.Count("art_miss", 1)
+				}
+				st.Count("dft_valves", int64(aug.Chip.NumDFTValves()))
+				return nil
+			}
 			aug, err = dft.AugmentCtx(ctx, c, false)
 			if err != nil {
 				return err
@@ -127,9 +155,13 @@ func run() int {
 			return nil
 		}},
 		{Name: "cuts", Run: func(ctx context.Context, st *flowstage.StageStats) error {
+			if ts != nil {
+				st.Count("cut_vectors", int64(len(cuts)))
+				return nil
+			}
 			var err error
 			if *optimal {
-				cuts, err = dft.GenerateCutsOptimalCtx(ctx, aug.Chip, aug.Source, aug.Meter, dft.AugmentOptions{Workers: *workers})
+				cuts, err = dft.GenerateCutsOptimalCtx(ctx, aug.Chip, aug.Source, aug.Meter, dft.AugmentOptions{Workers: rf.Workers})
 			} else {
 				cuts, err = dft.GenerateCutsCtx(ctx, aug.Chip, aug.Source, aug.Meter)
 			}
@@ -150,7 +182,7 @@ func run() int {
 			}
 			sim.SetMetrics(metrics)
 			faults = dft.AllFaults(aug.Chip)
-			cov, err = dft.NewEngine(sim, *workers).EvaluateCoverageCtx(ctx, vectors, faults)
+			cov, err = dft.NewEngine(sim, rf.Workers).EvaluateCoverageCtx(ctx, vectors, faults)
 			if err != nil {
 				return err
 			}
@@ -164,7 +196,7 @@ func run() int {
 			Name: "leakage",
 			Run: func(ctx context.Context, st *flowstage.StageStats) error {
 				var err error
-				leakRep, err = dft.QuantifyLeakage(ctx, sim, cuts, dft.LeakageOptions{Workers: *workers})
+				leakRep, err = dft.QuantifyLeakage(ctx, sim, cuts, dft.LeakageOptions{Workers: rf.Workers})
 				if err != nil {
 					return err
 				}
@@ -186,12 +218,12 @@ func run() int {
 				base := metrics.Snapshot()
 				defer memoInto(st, base)
 				var err error
-				dm, err = dft.NewEngine(sim, *workers).DetectionMatrix(ctx, vectors, faults)
+				dm, err = dft.NewEngine(sim, rf.Workers).DetectionMatrix(ctx, vectors, faults)
 				if err != nil {
 					return err
 				}
 				planner := &diagnose.Planner{Matrix: dm, VectorBudget: *budget}
-				diags, err = planner.Campaign(ctx, *workers)
+				diags, err = planner.Campaign(ctx, rf.Workers)
 				if err != nil {
 					return err
 				}
@@ -230,7 +262,7 @@ func run() int {
 					Metrics: sm,
 				}
 				var err error
-				groups, err = r.Campaign(ctx, sets, *workers)
+				groups, err = r.Campaign(ctx, sets, rf.Workers)
 				if err != nil {
 					return err
 				}
@@ -354,7 +386,7 @@ func run() int {
 		if err != nil {
 			return cliutil.Fail(tool, err)
 		}
-		bcov, err := dft.NewEngine(bsim, *workers).EvaluateCoverageCtx(ctx, append(append([]dft.Vector{}, bp...), bc...), dft.AllFaults(c))
+		bcov, err := dft.NewEngine(bsim, rf.Workers).EvaluateCoverageCtx(ctx, append(append([]dft.Vector{}, bp...), bc...), dft.AllFaults(c))
 		if err != nil {
 			return cliutil.Fail(tool, err)
 		}

@@ -303,6 +303,71 @@ func RunTestSuiteCtx(ctx context.Context, c *Chip, opts SuiteRunOptions) (*Suite
 	return core.RunSuiteCtx(ctx, c, opts)
 }
 
+// Content-addressed artifact caching and batch submission (see
+// internal/core and internal/artifact). An ArtifactCache memoizes
+// finalized flow Results, test suites and test sets by content digest,
+// with an optional persistent disk tier; RunBatch collapses duplicate
+// submissions to one solve on a bounded worker pool.
+type (
+	// ArtifactCache is the two-tier (memory + optional disk) cache; pass
+	// it on Options.Cache / SuiteRunOptions.Cache or BatchOptions.Cache.
+	ArtifactCache = core.Cache
+	// ArtifactCacheConfig configures NewArtifactCache.
+	ArtifactCacheConfig = core.CacheConfig
+	// ArtifactCacheMetrics snapshots hit/miss/store traffic.
+	ArtifactCacheMetrics = core.CacheMetrics
+	// TestSet is the standalone augmentation + cut-cover artifact
+	// (BuildTestSet) the inspection CLIs consume.
+	TestSet = core.TestSet
+	// BatchJob, BatchResult and BatchOptions belong to RunBatch.
+	BatchJob     = core.BatchJob
+	BatchResult  = core.BatchResult
+	BatchOptions = core.BatchOptions
+)
+
+// ErrBatchSaturated rejects batch jobs beyond BatchOptions.MaxPending.
+var ErrBatchSaturated = core.ErrBatchSaturated
+
+// NewArtifactCache builds an artifact cache; with a Dir the persistent
+// disk tier is opened (created if missing).
+func NewArtifactCache(cfg ArtifactCacheConfig) (*ArtifactCache, error) {
+	return core.NewCache(cfg)
+}
+
+// RunBatch runs N flow submissions as one batch: identical submissions
+// collapse to one solve and results fan back in submission order,
+// bit-identical to N serial runs.
+func RunBatch(jobs []BatchJob, opts BatchOptions) []BatchResult {
+	return core.RunBatch(jobs, opts)
+}
+
+// RunBatchCtx is RunBatch with cooperative cancellation.
+func RunBatchCtx(ctx context.Context, jobs []BatchJob, opts BatchOptions) []BatchResult {
+	return core.RunBatchCtx(ctx, jobs, opts)
+}
+
+// BuildTestSet augments a chip heuristically and generates its cut cover
+// (exact when optimal), consulting the artifact cache when non-nil.
+func BuildTestSet(c *Chip, optimal bool, workers int, cache *ArtifactCache) (*TestSet, error) {
+	return core.BuildTestSet(c, optimal, workers, cache)
+}
+
+// BuildTestSetCtx is BuildTestSet with cooperative cancellation.
+func BuildTestSetCtx(ctx context.Context, c *Chip, optimal bool, workers int, cache *ArtifactCache) (*TestSet, error) {
+	return core.BuildTestSetCtx(ctx, c, optimal, workers, cache)
+}
+
+// EncodeResult renders a Result in the canonical encoding the cache
+// stores; byte equality of encodings is the bit-identity criterion the
+// benchmarks gate on. DecodeResult rebuilds a live Result against the
+// original (unaugmented) chip.
+func EncodeResult(res *Result) ([]byte, error) { return core.EncodeResult(res) }
+
+// DecodeResult is the inverse of EncodeResult.
+func DecodeResult(orig *Chip, payload []byte) (*Result, error) {
+	return core.DecodeResult(orig, payload)
+}
+
 // Sentinel errors of the diagnosis/reconfiguration engines.
 var (
 	// ErrDiagnoseBudget reports an adaptive/greedy diagnosis that ran out

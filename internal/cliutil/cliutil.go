@@ -7,6 +7,7 @@ package cliutil
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/assay"
 	"repro/internal/chip"
+	"repro/internal/core"
 	"repro/internal/loader"
 	"repro/internal/solve"
 )
@@ -113,3 +115,56 @@ func LoadAssay(name, file string) (*assay.Graph, error) {
 	}
 	return a, nil
 }
+
+// RunFlags is the execution-knob flag set shared by every CLI: the
+// wall-clock budget, the worker-pool size, and the artifact-cache tiers.
+// One definition keeps flag names, help text and default semantics
+// identical across dftgen, faultsim, experiments and chipinfo.
+type RunFlags struct {
+	// Timeout bounds the run's wall clock (0 = none).
+	Timeout time.Duration
+	// Workers sizes the fault-simulation/ILP/PSO worker pools (0 = all
+	// CPU cores). Results are bit-identical for any value.
+	Workers int
+	// CacheDir roots the persistent artifact store ("" = no disk tier).
+	CacheDir string
+	// CacheMB bounds the in-memory artifact tier (0 = library default).
+	CacheMB int64
+	// MemoMB bounds the flow's in-flight memoization caches (0 =
+	// unbounded, the historical behavior).
+	MemoMB int64
+}
+
+// AddRunFlags registers the shared execution flags on the default flag
+// set; call before flag.Parse.
+func AddRunFlags() *RunFlags {
+	rf := &RunFlags{}
+	flag.DurationVar(&rf.Timeout, "timeout", 0,
+		"overall wall-clock budget (0 = none)")
+	flag.IntVar(&rf.Workers, "workers", 0,
+		"fault-simulation, pressure-solve, ILP and PSO worker-pool size (0 = all CPU cores; results are identical for any value)")
+	flag.StringVar(&rf.CacheDir, "cache-dir", "",
+		"persistent artifact-cache directory; warm reruns skip solved stages (empty = no disk tier)")
+	flag.Int64Var(&rf.CacheMB, "cache-mb", 0,
+		"in-memory artifact-cache budget in MiB (0 = default 256)")
+	flag.Int64Var(&rf.MemoMB, "memo-mb", 0,
+		"per-flow memoization budget in MiB (0 = unbounded)")
+	return rf
+}
+
+// Context returns the signal-aware, timeout-bounded run context.
+func (rf *RunFlags) Context() (context.Context, context.CancelFunc) {
+	return SignalContext(rf.Timeout)
+}
+
+// OpenCache builds the artifact cache the flags describe, or nil when
+// caching was not requested (no -cache-dir and no -cache-mb).
+func (rf *RunFlags) OpenCache() (*core.Cache, error) {
+	if rf.CacheDir == "" && rf.CacheMB <= 0 {
+		return nil, nil
+	}
+	return core.NewCache(core.CacheConfig{Dir: rf.CacheDir, BudgetBytes: rf.CacheMB << 20})
+}
+
+// MemoBytes converts the -memo-mb flag to bytes.
+func (rf *RunFlags) MemoBytes() int64 { return rf.MemoMB << 20 }

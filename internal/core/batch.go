@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+)
+
+// ErrBatchSaturated rejects jobs beyond BatchOptions.MaxPending unique
+// solves — the admission-control backpressure a serving layer maps to
+// HTTP 503.
+var ErrBatchSaturated = errors.New("core: batch queue saturated")
+
+// BatchJob is one (chip, assay, options) flow submission.
+type BatchJob struct {
+	Chip  *chip.Chip
+	Assay *assay.Graph
+	Opts  Options
+}
+
+// BatchResult is one job's outcome, at the submission's index.
+type BatchResult struct {
+	// Result is the flow result (nil when Err is set).
+	Result *Result
+	// Err is the job's failure: the solve's error, or ErrBatchSaturated
+	// when admission control rejected it.
+	Err error
+	// Key is the job's content digest (hex), "" for uncacheable options
+	// (injections, optional stages, baseline modes — those never dedup).
+	Key string
+	// Shared marks a deduplicated job: its Result was decoded from the
+	// canonical encoding of an identical earlier submission's solve
+	// instead of solving again.
+	Shared bool
+}
+
+// BatchOptions tunes RunBatch.
+type BatchOptions struct {
+	// Parallel bounds concurrent solves (0 = runtime.GOMAXPROCS). Results
+	// and cache hit/miss counters are bit-identical for any value.
+	Parallel int
+	// MaxPending is the admission-control bound on unique solves accepted
+	// per batch (0 = unlimited); jobs collapsing onto an admitted solve
+	// are always accepted — duplicates are free.
+	MaxPending int
+	// Cache, when set, overrides every job's Options.Cache: lookups and
+	// stores go through it, so a batch warms the cross-run tiers.
+	Cache *Cache
+}
+
+// RunBatch is RunBatchCtx with background context.
+func RunBatch(jobs []BatchJob, bo BatchOptions) []BatchResult {
+	return RunBatchCtx(context.Background(), jobs, bo)
+}
+
+// RunBatchCtx runs N flow submissions as one batch: every job is
+// digested up front, identical submissions collapse to one solve, and
+// the unique solves run on a bounded worker pool. Results fan back in
+// submission order and are bit-identical to N serial runs under the
+// canonical encoding (EncodeResult) — deduplicated jobs receive an
+// independently decoded copy, never a shared mutable pointer. Dedup
+// happens before the pool, so the cache's hit/miss counters are
+// deterministic for any Parallel value.
+func RunBatchCtx(ctx context.Context, jobs []BatchJob, bo BatchOptions) []BatchResult {
+	n := len(jobs)
+	out := make([]BatchResult, n)
+	type group struct {
+		key     string
+		members []int
+	}
+	groups := make(map[string]*group, n)
+	var order []*group
+	for i := range jobs {
+		opts := jobs[i].Opts.withDefaults()
+		var key string
+		if flowCacheable(opts) {
+			key = flowDigest(jobs[i].Chip, jobs[i].Assay, opts).Hex()
+		} else {
+			// Uncacheable jobs never dedup: their semantics (drills,
+			// optional stages) are outside the canonical envelope.
+			key = fmt.Sprintf("!uncacheable-%d", i)
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{key: key}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.members = append(g.members, i)
+	}
+	admitted := order
+	if bo.MaxPending > 0 && len(order) > bo.MaxPending {
+		admitted = order[:bo.MaxPending]
+		for _, g := range order[bo.MaxPending:] {
+			for _, i := range g.members {
+				out[i] = BatchResult{Err: ErrBatchSaturated, Key: publicKey(g.key)}
+			}
+		}
+	}
+	par := bo.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, g := range admitted {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			first := g.members[0]
+			opts := jobs[first].Opts
+			if bo.Cache != nil {
+				opts.Cache = bo.Cache
+			}
+			res, err := RunDFTFlowCtx(ctx, jobs[first].Chip, jobs[first].Assay, opts)
+			var payload []byte
+			if err == nil && len(g.members) > 1 {
+				if p, e := EncodeResult(res); e == nil {
+					payload = p
+				}
+			}
+			for idx, i := range g.members {
+				r := BatchResult{Key: publicKey(g.key), Err: err}
+				if err == nil {
+					r.Result = res
+					if idx > 0 {
+						r.Shared = true
+						if payload != nil {
+							if cp, e := DecodeResult(jobs[i].Chip, payload); e == nil {
+								r.Result = cp
+							}
+						}
+					}
+				}
+				out[i] = r
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bo.Cache != nil {
+		// The fan-in barrier is the batch's serial point: trim the shared
+		// memory tier to budget deterministically.
+		bo.Cache.Trim()
+	}
+	return out
+}
+
+// publicKey hides the internal uncacheable sentinel from callers.
+func publicKey(key string) string {
+	if len(key) > 0 && key[0] == '!' {
+		return ""
+	}
+	return key
+}

@@ -35,10 +35,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/assay"
 	"repro/internal/chip"
 	"repro/internal/fault"
@@ -156,6 +158,23 @@ type Options struct {
 	// disables observation. Observers never affect the search — results
 	// are bit-identical with or without one.
 	Observer flowstage.Observer
+	// Cache is the optional content-addressed artifact cache: when set
+	// (and the options are cacheable — no injections, drills or optional
+	// stages), RunDFTFlowCtx consults it by (chip, assay, options) digest
+	// before solving and stores the finalized Result after. Hits return a
+	// decoded copy that is bit-identical to a fresh solve under the
+	// canonical result encoding; the synthesized Stats carry an
+	// "artifact" stage with art_* counters instead of the solve stages.
+	// Caches never affect solved results — only whether the solve runs.
+	Cache *Cache
+	// MemoBytes bounds the flow's in-flight memoization (the
+	// per-configuration artifact cache and the sharing-fitness memo)
+	// to an approximate byte budget; cold entries evict at stage
+	// boundaries, deterministically for any worker count, and evicted
+	// values are recomputed on next use (pure functions of their keys,
+	// so the Result never changes). 0 = unbounded (the historical
+	// behavior).
+	MemoBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -302,12 +321,26 @@ type flow struct {
 
 	// augCache memoizes per-configuration artifacts by content key
 	// (augKey); innerCache memoizes sharing fitnesses by
-	// configuration+partner key. Both are once-maps: concurrent swarm
-	// workers racing on a key compute it exactly once, and since every
-	// value is a pure function of its key the cache contents are
-	// deterministic for any worker count.
-	augCache   *onceMap[*augEval]
-	innerCache *onceMap[float64]
+	// configuration+partner key. Both are bounded singleflight caches
+	// (internal/artifact): concurrent swarm workers racing on a key
+	// compute it exactly once, and since every value is a pure function
+	// of its key the cache contents are deterministic for any worker
+	// count. Under Options.MemoBytes cold entries evict at stage
+	// boundaries and are transparently recomputed on next use — the
+	// flow's selection state lives in the non-evictable summaries
+	// registry below, so eviction never changes a Result.
+	augCache   *artifact.Cache[*augEval]
+	innerCache *artifact.Cache[float64]
+
+	// summaries is the non-evictable per-configuration search registry:
+	// one light augSummary per configuration ever evaluated, holding the
+	// inner-search outcome (searched/bestFit/bestPartners) and the worst
+	// valid full-sharing fitness seen. The selection logic (bestEvalSeen,
+	// the partial-sharing retry, worstValidSharing) reads only this
+	// registry, never cache residency, so a bounded augCache/innerCache
+	// is invisible to the flow's choices.
+	sumMu     sync.Mutex
+	summaries map[string]*augSummary
 
 	// Typed artifacts handed between pipeline stages.
 	chainOut flowstage.Artifact[solve.Outcome[*testgen.Augmentation]]
@@ -337,13 +370,124 @@ type augEval struct {
 	screenOnce sync.Once
 	screen     *sharingScreen
 
-	// mu guards the inner-search fields below: concurrent outer particles
-	// that land on the same configuration serialize on it, so the inner
+	// sum is the configuration's non-evictable search summary. Every
+	// augEval instance for one content key (the original and any
+	// recomputed-after-eviction successor) shares the same summary.
+	sum *augSummary
+}
+
+// augSummary is the per-configuration search state that must survive
+// cache eviction: which configurations were inner-searched and with what
+// outcome. It is a few dozen bytes plus the configuration itself —
+// the heavy artifacts (test vectors, revalidation screens) stay in the
+// evictable augEval.
+type augSummary struct {
+	key string
+	aug *testgen.Augmentation
+
+	// mu guards the inner-search fields: concurrent outer particles that
+	// land on the same configuration serialize on it, so the inner
 	// sub-PSO runs exactly once per configuration.
 	mu           sync.Mutex
 	searched     bool
 	bestFit      float64
 	bestPartners []int
+
+	// vmu guards the worst-valid tracker separately: it is updated from
+	// inside sharing-fitness computes, which run while mu is held by the
+	// inner search.
+	vmu        sync.Mutex
+	worstValid float64
+	hasValid   bool
+}
+
+// noteValid records a computed sharing fitness when it is a valid FULL
+// sharing (below the partial band): worstValidSharing reports the
+// maximum such value as the unoptimized reference. Recording at compute
+// time (rather than scanning innerCache at finalize) keeps the value
+// exact even after the memo evicts entries.
+func (s *augSummary) noteValid(fit float64) {
+	if fit >= partialBand {
+		return
+	}
+	s.vmu.Lock()
+	if !s.hasValid || fit > s.worstValid {
+		s.worstValid, s.hasValid = fit, true
+	}
+	s.vmu.Unlock()
+}
+
+// summaryFor returns the configuration's summary, creating it on first
+// sight. Safe from concurrent PSO workers; hand-built flows (tests) may
+// leave f.summaries nil.
+func (f *flow) summaryFor(key string, aug *testgen.Augmentation) *augSummary {
+	f.sumMu.Lock()
+	defer f.sumMu.Unlock()
+	if f.summaries == nil {
+		f.summaries = make(map[string]*augSummary)
+	}
+	s, ok := f.summaries[key]
+	if !ok {
+		s = &augSummary{key: key, aug: aug, bestFit: math.Inf(1)}
+		f.summaries[key] = s
+	}
+	return s
+}
+
+// summary returns the configuration's summary, or nil when it was never
+// evaluated.
+func (f *flow) summary(key string) *augSummary {
+	f.sumMu.Lock()
+	defer f.sumMu.Unlock()
+	return f.summaries[key]
+}
+
+// sortedSummaryKeys returns every evaluated configuration key in
+// lexicographic order — the deterministic iteration order the selection
+// logic uses.
+func (f *flow) sortedSummaryKeys() []string {
+	f.sumMu.Lock()
+	keys := make([]string, 0, len(f.summaries))
+	for k := range f.summaries {
+		keys = append(keys, k)
+	}
+	f.sumMu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// numSummaries returns how many configurations were ever evaluated.
+func (f *flow) numSummaries() int {
+	f.sumMu.Lock()
+	defer f.sumMu.Unlock()
+	return len(f.summaries)
+}
+
+// newAugCache and newInnerCache build the flow's bounded memo caches;
+// budget is Options.MemoBytes (0 = unbounded). The per-configuration
+// cache gets three quarters of the budget (its entries carry the test
+// vectors), the fitness memo the rest.
+func newAugCache(budget int64) *artifact.Cache[*augEval] {
+	return artifact.NewCache[*augEval](budget*3/4, augEvalSize)
+}
+
+func newInnerCache(budget int64) *artifact.Cache[float64] {
+	return artifact.NewCache[float64](budget/4, func(float64) int64 { return 8 })
+}
+
+// augEvalSize approximates an augEval's resident bytes (vector payloads
+// dominate; the lazily-built revalidation screen is not counted).
+func augEvalSize(ev *augEval) int64 {
+	size := int64(256)
+	for i := range ev.paths {
+		v := &ev.paths[i]
+		size += 80 + 8*int64(len(v.Valves)+len(v.Sources)+len(v.Meters))
+	}
+	for i := range ev.cuts {
+		v := &ev.cuts[i]
+		size += 80 + 8*int64(len(v.Valves)+len(v.Sources)+len(v.Meters))
+	}
+	return size
 }
 
 // RunDFTFlow runs the complete two-level PSO DFT flow for one chip-assay
@@ -367,6 +511,40 @@ func RunDFTFlow(c *chip.Chip, g *assay.Graph, opts Options) (*Result, error) {
 func RunDFTFlowCtx(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
+	cc := opts.Cache
+	if cc == nil || !flowCacheable(opts) {
+		return runDFTFlowSolve(ctx, c, g, opts, start)
+	}
+	d := flowDigest(c, g, opts)
+	if payload, tier := cc.lookup("flow", d); payload != nil {
+		if res, err := DecodeResult(c, payload); err == nil {
+			res.Runtime = time.Since(start)
+			res.Stats = artifactStats(opts.Observer, res.Runtime,
+				map[string]int64{"art_" + tier + "_hits": 1})
+			return res, nil
+		}
+		// Undecodable payload (stale schema, foreign chip): solve fresh;
+		// the store below overwrites it.
+	}
+	res, err := runDFTFlowSolve(ctx, c, g, opts, start)
+	if err != nil {
+		return nil, err
+	}
+	counters := map[string]int64{"art_miss": 1}
+	if !res.Interrupted {
+		// Interrupted results are valid but less optimized — never the
+		// canonical value for this digest, so never cached.
+		if payload, encErr := EncodeResult(res); encErr == nil {
+			cc.add("flow", d, payload)
+			counters["art_store"] = 1
+		}
+	}
+	appendArtifactStage(res.Stats, opts.Observer, counters)
+	return res, nil
+}
+
+// runDFTFlowSolve is the uncached flow: the full five-stage pipeline.
+func runDFTFlowSolve(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Options, start time.Time) (*Result, error) {
 	augInject, diagInject, reconfInject := solve.SplitInjections(opts.Inject)
 	if len(diagInject) > 0 && !opts.Diagnose {
 		return nil, fmt.Errorf("%w: %q (diagnosis stage not enabled)",
@@ -386,8 +564,9 @@ func RunDFTFlowCtx(ctx context.Context, c *chip.Chip, g *assay.Graph, opts Optio
 		metrics:      fault.NewMetrics(),
 		diagInject:   diagInject,
 		reconfInject: reconfInject,
-		augCache:     newOnceMap[*augEval](),
-		innerCache:   newOnceMap[float64](),
+		augCache:     newAugCache(opts.MemoBytes),
+		innerCache:   newInnerCache(opts.MemoBytes),
+		summaries:    make(map[string]*augSummary),
 		schedMetrics: sched.NewMetrics(),
 		schedEngines: make(map[*chip.Chip]*schedEngineEntry),
 	}
@@ -466,6 +645,21 @@ func (f *flow) leaveStage(st *flowstage.StageStats) {
 	st.Count("sched_warm_runs", sd.WarmRuns)
 	st.Count("sched_candidate_hits", sd.CandidateHits)
 	st.Count("sched_fallback_reroutes", sd.FallbackReroutes)
+	// Stage boundaries are the flow's serial points: advance the memo
+	// caches' recency epoch and trim them to the MemoBytes budget
+	// (no-ops when unbounded). Evictions never change the Result — the
+	// selection state lives in the summaries registry and every cached
+	// value is a pure function of its key.
+	if f.augCache != nil && f.innerCache != nil {
+		f.augCache.AdvanceEpoch()
+		f.innerCache.AdvanceEpoch()
+		if ev := f.augCache.Stats().Evictions + f.innerCache.Stats().Evictions; ev > 0 {
+			if st.Counters == nil {
+				st.Counters = map[string]int64{}
+			}
+			st.Counters["memo_evictions"] = ev // cumulative, not a delta
+		}
+	}
 	f.cur = nil
 }
 
@@ -560,7 +754,7 @@ func (f *flow) augment(weights []float64) (*testgen.Augmentation, error) {
 func (f *flow) evalAug(aug *testgen.Augmentation) *augEval {
 	key := augKey(aug)
 	ev, hit := f.augCache.Do(key, func() *augEval {
-		ev := &augEval{aug: aug, key: key, bestFit: math.Inf(1)}
+		ev := &augEval{aug: aug, key: key, sum: f.summaryFor(key, aug)}
 		ev.paths = aug.PathVectors()
 		ev.cuts, ev.cutsErr = testgen.GenerateCuts(aug.Chip, aug.Source, aug.Meter)
 		if ev.cutsErr != nil && len(aug.Uncovered) > 0 {
@@ -589,15 +783,16 @@ func (f *flow) bestSharingFitness(ev *augEval) float64 {
 	if ev.cutsErr != nil {
 		return math.Inf(1)
 	}
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	if ev.searched && !f.opts.PSORecompute {
-		return ev.bestFit
+	sum := ev.sum
+	sum.mu.Lock()
+	defer sum.mu.Unlock()
+	if sum.searched && !f.opts.PSORecompute {
+		return sum.bestFit
 	}
 	// Under PSORecompute the search below re-runs on every encounter; the
 	// inner seed derives from the configuration key, so it reproduces the
 	// same result and the <-guarded updates are idempotent.
-	ev.searched = true
+	sum.searched = true
 	nDFT := ev.aug.Chip.NumDFTValves()
 	innerCfg := f.opts.Inner
 	innerCfg.Seed = f.opts.Seed ^ int64(len(ev.key)) ^ hashString(ev.key)
@@ -608,9 +803,9 @@ func (f *flow) bestSharingFitness(ev *augEval) float64 {
 		return f.sharingFitness(ev, partners)
 	}, innerCfg)
 	f.countStage("pso_inner_evals", int64(res.Evaluations))
-	if res.BestFitness < ev.bestFit {
-		ev.bestFit = res.BestFitness
-		ev.bestPartners = f.decodePartners(ev.aug.Chip, res.BestX)
+	if res.BestFitness < sum.bestFit {
+		sum.bestFit = res.BestFitness
+		sum.bestPartners = f.decodePartners(ev.aug.Chip, res.BestX)
 	}
 	if f.allowPartial {
 		// Guaranteed baseline: every DFT valve on its own line is always
@@ -620,12 +815,12 @@ func (f *flow) bestSharingFitness(ev *augEval) float64 {
 		for i := range allOwn {
 			allOwn[i] = -1
 		}
-		if fit := f.sharingFitness(ev, allOwn); fit < ev.bestFit {
-			ev.bestFit = fit
-			ev.bestPartners = allOwn
+		if fit := f.sharingFitness(ev, allOwn); fit < sum.bestFit {
+			sum.bestFit = fit
+			sum.bestPartners = allOwn
 		}
 	}
-	return ev.bestFit
+	return sum.bestFit
 }
 
 // decodePartners maps a continuous inner-PSO position to an injective
@@ -673,14 +868,17 @@ func (f *flow) sharingFitness(ev *augEval, partners []int) float64 {
 	if f.opts.PSORecompute {
 		// Serial recomputation leg: pay the full cost on every call, but
 		// still record the (identical, pure-function) value so the
-		// finalize stage's cache scans see the same population.
+		// finalize stage's selection reads see the same population.
 		fit := f.computeSharingFitness(ev, partners)
+		ev.sum.noteValid(fit)
 		f.innerCache.Do(innerKey(ev, partners), func() float64 { return fit })
 		f.noteCache("inner_cache", false)
 		return fit
 	}
 	fit, hit := f.innerCache.Do(innerKey(ev, partners), func() float64 {
-		return f.computeSharingFitness(ev, partners)
+		fit := f.computeSharingFitness(ev, partners)
+		ev.sum.noteValid(fit)
+		return fit
 	})
 	f.noteCache("inner_cache", hit)
 	return fit
@@ -837,14 +1035,26 @@ func (f *flow) computeSharingFitness(ev *augEval, partners []int) float64 {
 func (f *flow) bestEvalSeen(ref *augEval) *augEval {
 	best := ref
 	bestFit := f.bestSharingFitness(ref)
-	for _, k := range f.augCache.SortedKeys() {
-		ev, ok := f.augCache.Get(k)
-		if !ok || !ev.searched {
+	var bestSum *augSummary
+	for _, k := range f.sortedSummaryKeys() {
+		sum := f.summary(k)
+		sum.mu.Lock()
+		searched, fit := sum.searched, sum.bestFit
+		sum.mu.Unlock()
+		if !searched {
 			continue
 		}
-		if ev.bestFit < bestFit {
-			best, bestFit = ev, ev.bestFit
+		if fit < bestFit {
+			bestSum, bestFit = sum, fit
 		}
+	}
+	if bestSum != nil {
+		// Re-materialize the winner's artifacts: the resident entry when
+		// cached, a pure recompute when the memo evicted them.
+		if ev, ok := f.augCache.Get(bestSum.key); ok {
+			return ev
+		}
+		best = f.evalAug(bestSum.aug)
 	}
 	return best
 }

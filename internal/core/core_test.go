@@ -188,8 +188,8 @@ func TestFirstValidSharingRotation(t *testing.T) {
 	}
 	f := &flow{
 		orig: c, graph: g, opts: Options{}.withDefaults(),
-		augCache:   newOnceMap[*augEval](),
-		innerCache: newOnceMap[float64](),
+		augCache:   newAugCache(0),
+		innerCache: newInnerCache(0),
 	}
 	ev := f.evalAug(aug)
 	if ev.cutsErr != nil {

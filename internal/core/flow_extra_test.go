@@ -85,7 +85,7 @@ func TestWorstValidSharing(t *testing.T) {
 	c := chip.IVD()
 	g := assay.CPA()
 	f := &flow{orig: c, graph: g, opts: Options{}.withDefaults(),
-		augCache: newOnceMap[*augEval](), innerCache: newOnceMap[float64]()}
+		augCache: newAugCache(0), innerCache: newInnerCache(0)}
 	aug, err := testgen.AugmentHeuristic(c, testgen.Options{})
 	if err != nil {
 		t.Fatal(err)

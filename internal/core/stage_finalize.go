@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"strings"
 
 	"repro/internal/chip"
 	"repro/internal/fault"
@@ -40,12 +39,12 @@ func (f *flow) runFinalizeStage(ctx context.Context, st *flowstage.StageStats) e
 		// guided search to find one); report the worst valid scheme the
 		// search encountered as the unoptimized reference.
 		noPSOExec = f.worstValidSharing(bestEval)
-	} else if float64(noPSOExec) < bestEval.bestFit {
-		bestEval.bestFit = float64(noPSOExec)
-		bestEval.bestPartners = noPSOPartners
+	} else if float64(noPSOExec) < bestEval.sum.bestFit {
+		bestEval.sum.bestFit = float64(noPSOExec)
+		bestEval.sum.bestPartners = noPSOPartners
 	}
 
-	partners := bestEval.bestPartners
+	partners := bestEval.sum.bestPartners
 	ctrl, err := chip.SharedControl(bestEval.aug.Chip, partners)
 	if err != nil {
 		return err
@@ -111,8 +110,8 @@ func (f *flow) runFinalizeStage(ctx context.Context, st *flowstage.StageStats) e
 	// post-PSO search, so close the trace with the best value actually
 	// achieved (the paper's Fig. 9 plots the framework result).
 	trace := append([]float64(nil), outer.Trace...)
-	if n := len(trace); n > 0 && bestEval.bestFit < trace[n-1] {
-		trace[n-1] = bestEval.bestFit
+	if n := len(trace); n > 0 && bestEval.sum.bestFit < trace[n-1] {
+		trace[n-1] = bestEval.sum.bestFit
 	}
 
 	st.Count("final_vectors", int64(len(finalPaths)+len(finalCuts)))
@@ -166,16 +165,14 @@ func (f *flow) firstValidSharing(ev *augEval) (int, []int, error) {
 // validated, the best one's penalty is stripped to recover its schedule
 // length.
 func (f *flow) worstValidSharing(ev *augEval) int {
-	prefix := innerKeyPrefix(ev)
-	worst := -1.0
-	f.innerCache.Range(func(k string, v float64) bool {
-		if strings.HasPrefix(k, prefix) && v < partialBand && v > worst {
-			worst = v
-		}
-		return true
-	})
-	if worst < 0 {
-		w := ev.bestFit
+	s := ev.sum
+	s.vmu.Lock()
+	worst, has := s.worstValid, s.hasValid
+	s.vmu.Unlock()
+	if !has {
+		s.mu.Lock()
+		w := s.bestFit
+		s.mu.Unlock()
 		for w >= partialBand && w < validThreshold {
 			w -= partialBand
 		}

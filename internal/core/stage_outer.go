@@ -61,12 +61,14 @@ func (f *flow) runOuterStage(ctx context.Context, st *flowstage.StageStats) erro
 		// lines (still penalized, so every shareable valve shares).
 		f.allowPartial = true
 		st.Count("partial_fallback", 1)
-		keys := f.augCache.SortedKeys()
+		keys := f.sortedSummaryKeys()
 		for _, k := range keys {
-			if ev, ok := f.augCache.Get(k); ok {
-				ev.searched = false
-				ev.bestFit = math.Inf(1)
-				ev.bestPartners = nil
+			if sum := f.summary(k); sum != nil {
+				sum.mu.Lock()
+				sum.searched = false
+				sum.bestFit = math.Inf(1)
+				sum.bestPartners = nil
+				sum.mu.Unlock()
 			}
 		}
 		const retryConfigs = 8
@@ -74,8 +76,8 @@ func (f *flow) runOuterStage(ctx context.Context, st *flowstage.StageStats) erro
 			if i >= retryConfigs {
 				break
 			}
-			if ev, ok := f.augCache.Get(k); ok {
-				f.bestSharingFitness(ev)
+			if sum := f.summary(k); sum != nil {
+				f.bestSharingFitness(f.evalAug(sum.aug))
 			}
 		}
 		bestEval = f.bestEvalSeen(refEval)
@@ -83,7 +85,7 @@ func (f *flow) runOuterStage(ctx context.Context, st *flowstage.StageStats) erro
 			return fmt.Errorf("core: no valid sharing scheme found for %s/%s", c.Name, f.graph.Name)
 		}
 	}
-	st.Count("configs_evaluated", int64(f.augCache.Len()))
+	st.Count("configs_evaluated", int64(f.numSummaries()))
 	f.bestEval.Set(bestEval)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/chip"
 	"repro/internal/fault"
 	"repro/internal/flowstage"
@@ -52,6 +53,12 @@ type SuiteRunOptions struct {
 	Templates *testgen.TemplateEngine
 	// Observer receives live stage/cache/counter events; nil for none.
 	Observer flowstage.Observer
+	// Cache is the optional content-addressed artifact cache: hits skip
+	// both stages and return a decoded suite bit-identical to a fresh
+	// generation; the synthesized Stats carry an "artifact" stage with
+	// art_* counters. The suite's vectors never depend on cache warmth,
+	// so every engine/worker combination is cacheable.
+	Cache *Cache
 }
 
 // SuiteRunResult is the outcome of one RunSuite pipeline.
@@ -96,6 +103,22 @@ func RunSuiteCtx(ctx context.Context, c *chip.Chip, opts SuiteRunOptions) (*Suit
 		return nil, fmt.Errorf("core: unknown suite engine %q", opts.Engine)
 	}
 	start := time.Now()
+	var digest artifact.Digest
+	if cc := opts.Cache; cc != nil {
+		digest = suiteDigest(c, opts.Engine)
+		if payload, tier := cc.lookup("suite", digest); payload != nil {
+			if suite, cov, err := DecodeSuite(c, payload); err == nil {
+				dur := time.Since(start)
+				return &SuiteRunResult{
+					Suite:    suite,
+					Coverage: cov,
+					Stats: artifactStats(opts.Observer, dur,
+						map[string]int64{"art_" + tier + "_hits": 1}),
+					Runtime: dur,
+				}, nil
+			}
+		}
+	}
 	r := &suiteRun{chip: c, opts: opts, metrics: fault.NewMetrics()}
 	pipe := &flowstage.Pipeline{
 		Observer: opts.Observer,
@@ -108,13 +131,22 @@ func RunSuiteCtx(ctx context.Context, c *chip.Chip, opts SuiteRunOptions) (*Suit
 	if err != nil {
 		return nil, err
 	}
-	return &SuiteRunResult{
+	res := &SuiteRunResult{
 		Suite:    r.suite.Get(),
 		Coverage: r.cov.Get(),
 		Metrics:  r.metrics.Snapshot(),
 		Stats:    stats,
 		Runtime:  time.Since(start),
-	}, nil
+	}
+	if cc := opts.Cache; cc != nil {
+		counters := map[string]int64{"art_miss": 1}
+		if payload, encErr := EncodeSuite(res.Suite, res.Coverage); encErr == nil {
+			cc.add("suite", digest, payload)
+			counters["art_store"] = 1
+		}
+		appendArtifactStage(res.Stats, opts.Observer, counters)
+	}
+	return res, nil
 }
 
 // runGenerateStage runs the selected suite generator and folds its
@@ -130,11 +162,18 @@ func (r *suiteRun) runGenerateStage(ctx context.Context, st *flowstage.StageStat
 		if eng == nil {
 			eng = testgen.NewTemplateEngine()
 		}
+		if cc := r.opts.Cache; cc != nil && cc.Store() != nil {
+			// Share the artifact cache's disk tier so solved tile classes
+			// persist across processes even when the whole-suite entry
+			// misses (e.g. a new chip size reusing known classes).
+			eng.SetStore(cc.Store())
+		}
 		s, err = eng.GenerateCtx(ctx, r.chip, sopts)
 		if err == nil {
 			st.Count("tmpl_classes", int64(s.Stats.Classes))
 			st.Count("tmpl_line_classes", int64(s.Stats.LineClasses))
 			st.Count("tmpl_cache_hits", s.Stats.TemplateHits)
+			st.Count("tmpl_disk_hits", s.Stats.TemplateDiskHits)
 			st.Count("tmpl_instantiated", s.Stats.Instantiated)
 			st.Count("tmpl_fallbacks", s.Stats.Fallbacks)
 			st.CacheHits += s.Stats.TemplateHits

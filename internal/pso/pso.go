@@ -97,6 +97,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Canonical returns the semantic part of the configuration in
+// fully-defaulted form: search-shaping fields resolved to their
+// defaults, execution-only fields (Workers, OnIteration) cleared —
+// they never change the search result. Content-addressed cache keys
+// (internal/artifact) hash the canonical form, so a zero config and an
+// explicitly-defaulted one key identically.
+func (c Config) Canonical() Config {
+	c = c.withDefaults()
+	c.HasOmega, c.HasC1, c.HasC2, c.HasVMax = true, true, true, true
+	c.Workers = 0
+	c.OnIteration = nil
+	return c
+}
+
 // Result reports the best position found.
 type Result struct {
 	BestX       []float64

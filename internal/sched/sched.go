@@ -88,6 +88,12 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// Canonical returns the parameters in fully-defaulted form: every
+// defaultable field resolved and every Has* flag set. Two Params that
+// schedule identically always canonicalize identically, which is what
+// content-addressed cache keys (internal/artifact) hash.
+func (p Params) Canonical() Params { return p.withDefaults() }
+
 // OpRecord reports when and where an operation executed.
 type OpRecord struct {
 	Op     int

@@ -33,11 +33,12 @@ package testgen
 
 import (
 	"context"
+	"encoding/json"
 	"sort"
 	"strconv"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/chip"
 	"repro/internal/fault"
 	"repro/internal/grid"
@@ -51,11 +52,51 @@ const (
 	sigWindow = 2
 )
 
+// portSideAlong encodes a candidate test port relative to a valve anchor.
+// Boundary ports are encoded by their side ('W','E','N','S', first match
+// in that fixed order) plus the along-boundary offset from the anchor —
+// NOT by their absolute anchor-relative coordinates — so two valves at
+// the same boundary proximity share a signature even when the grid
+// dimensions behind them differ (the irregular-chip class collapse).
+// Interior ports fall back to 'I' with both offsets.
+func portSideAlong(gr *grid.Grid, c, anchor grid.Coord) (side byte, along, along2 int) {
+	switch {
+	case c.X == 0:
+		return 'W', c.Y - anchor.Y, 0
+	case c.X == gr.W-1:
+		return 'E', c.Y - anchor.Y, 0
+	case c.Y == 0:
+		return 'N', c.X - anchor.X, 0
+	case c.Y == gr.H-1:
+		return 'S', c.X - anchor.X, 0
+	default:
+		return 'I', c.X - anchor.X, c.Y - anchor.Y
+	}
+}
+
+// resolvePort maps a (side, along) encoding back to an absolute
+// coordinate on the resolving chip's own grid.
+func resolvePort(gr *grid.Grid, anchor grid.Coord, side byte, along, along2 int) grid.Coord {
+	switch side {
+	case 'W':
+		return grid.Coord{X: 0, Y: anchor.Y + along}
+	case 'E':
+		return grid.Coord{X: gr.W - 1, Y: anchor.Y + along}
+	case 'N':
+		return grid.Coord{X: anchor.X + along, Y: 0}
+	case 'S':
+		return grid.Coord{X: anchor.X + along, Y: gr.H - 1}
+	default:
+		return grid.Coord{X: anchor.X + along, Y: anchor.Y + along2}
+	}
+}
+
 // classSignature returns the tile-class key of a valve and its anchor (the
 // top-left endpoint of its edge). Valves with equal signatures have
 // translation-identical local neighbourhoods and candidate test ports at
-// equal relative offsets.
-func (p *suitePre) classSignature(valve int) (string, grid.Coord) {
+// equal relative positions. legacyPorts selects the pre-collapse
+// anchor-relative port encoding (kept for ClassCounts A/B accounting).
+func (p *suitePre) classSignature(valve int, legacyPorts bool) (string, grid.Coord) {
 	gr := p.c.Grid
 	anchor, other := gr.EdgeEndpoints(p.c.Valve(valve).Edge)
 	buf := make([]byte, 0, 96)
@@ -96,19 +137,54 @@ func (p *suitePre) classSignature(valve int) (string, grid.Coord) {
 			buf = append(buf, 'a'+bits)
 		}
 	}
-	// The candidate test ports, as offsets relative to the anchor: class
-	// members must agree on where their solve would look, or the template
-	// ports would not translate.
+	// The candidate test ports: class members must agree on where their
+	// solve would look, or the template ports would not translate.
+	// Boundary ports use the side+along encoding (see portSideAlong);
+	// legacyPorts keeps the anchor-relative coordinates instead.
 	u, w := p.g.Endpoints(p.c.Valve(valve).Edge)
 	for _, pr := range p.candidatePairs(u, w) {
 		sc := gr.CoordOf(p.c.Ports[pr[0]].Node)
 		dc := gr.CoordOf(p.c.Ports[pr[1]].Node)
-		for _, d := range []int{sc.X - anchor.X, sc.Y - anchor.Y, dc.X - anchor.X, dc.Y - anchor.Y} {
-			buf = append(buf, ';')
-			buf = strconv.AppendInt(buf, int64(d), 10)
+		if legacyPorts {
+			for _, d := range []int{sc.X - anchor.X, sc.Y - anchor.Y, dc.X - anchor.X, dc.Y - anchor.Y} {
+				buf = append(buf, ';')
+				buf = strconv.AppendInt(buf, int64(d), 10)
+			}
+			continue
+		}
+		for _, co := range []grid.Coord{sc, dc} {
+			side, a1, a2 := portSideAlong(gr, co, anchor)
+			buf = append(buf, ';', side, ';')
+			buf = strconv.AppendInt(buf, int64(a1), 10)
+			if side == 'I' {
+				buf = append(buf, ';')
+				buf = strconv.AppendInt(buf, int64(a2), 10)
+			}
 		}
 	}
 	return string(buf), anchor
+}
+
+// ClassCounts classifies every valve of the chip under both candidate-port
+// encodings and returns the distinct class counts: the port-relative
+// (side+along) encoding in use, and the legacy anchor-relative encoding.
+// On irregular chips the port-relative count is at most the legacy count —
+// the class-collapse the FPVA benchmarks record.
+func ClassCounts(c *chip.Chip) (portRel, legacy int) {
+	pre := newSuitePre(c)
+	count := func(legacyPorts bool) int {
+		seen := make(map[string]struct{})
+		for v := 0; v < c.NumValves(); v++ {
+			if lsig, ok := pre.lineSignature(v); ok {
+				seen[lsig] = struct{}{}
+				continue
+			}
+			sig, _ := pre.classSignature(v, legacyPorts)
+			seen[sig] = struct{}{}
+		}
+		return len(seen)
+	}
+	return count(false), count(true)
 }
 
 // lineInfo describes the straight test line through a valve: the fully
@@ -306,10 +382,16 @@ type tmplEdge struct {
 	Vert   bool
 }
 
-// tmplVec is one vector in anchor-relative form.
+// tmplVec is one vector in anchor-relative form. Ports use the same
+// side+along encoding as the class signature (portSideAlong), so an
+// instantiation resolves boundary ports against its own chip's grid
+// dimensions; interior ports ('I') keep both anchor-relative offsets in
+// SrcAlong/SrcAlong2.
 type tmplVec struct {
-	Edges    []tmplEdge
-	Src, Dst grid.Coord // port offsets relative to the anchor
+	Edges               []tmplEdge
+	SrcSide, DstSide    byte
+	SrcAlong, SrcAlong2 int
+	DstAlong, DstAlong2 int
 }
 
 // template is one solved symmetry class. Line templates carry no stored
@@ -327,20 +409,15 @@ type template struct {
 // relativize converts a solved vector into anchor-relative form.
 func (p *suitePre) relativize(vec fault.Vector, anchor grid.Coord) tmplVec {
 	gr := p.c.Grid
-	tv := tmplVec{
-		Src: offsetOf(gr.CoordOf(p.c.Ports[vec.Sources[0]].Node), anchor),
-		Dst: offsetOf(gr.CoordOf(p.c.Ports[vec.Meters[0]].Node), anchor),
-	}
+	var tv tmplVec
+	tv.SrcSide, tv.SrcAlong, tv.SrcAlong2 = portSideAlong(gr, gr.CoordOf(p.c.Ports[vec.Sources[0]].Node), anchor)
+	tv.DstSide, tv.DstAlong, tv.DstAlong2 = portSideAlong(gr, gr.CoordOf(p.c.Ports[vec.Meters[0]].Node), anchor)
 	tv.Edges = make([]tmplEdge, 0, len(vec.Valves))
 	for _, v := range vec.Valves {
 		a, b := gr.EdgeEndpoints(p.c.Valve(v).Edge)
 		tv.Edges = append(tv.Edges, tmplEdge{DX: a.X - anchor.X, DY: a.Y - anchor.Y, Vert: a.X == b.X})
 	}
 	return tv
-}
-
-func offsetOf(c, anchor grid.Coord) grid.Coord {
-	return grid.Coord{X: c.X - anchor.X, Y: c.Y - anchor.Y}
 }
 
 // instantiate translates a template to the given anchor and certifies the
@@ -369,8 +446,8 @@ func (p *suitePre) instantiate(tv tmplVec, anchor grid.Coord, kind fault.VectorK
 		}
 		valves = append(valves, v)
 	}
-	srcC := grid.Coord{X: anchor.X + tv.Src.X, Y: anchor.Y + tv.Src.Y}
-	dstC := grid.Coord{X: anchor.X + tv.Dst.X, Y: anchor.Y + tv.Dst.Y}
+	srcC := resolvePort(gr, anchor, tv.SrcSide, tv.SrcAlong, tv.SrcAlong2)
+	dstC := resolvePort(gr, anchor, tv.DstSide, tv.DstAlong, tv.DstAlong2)
 	if !gr.InBounds(srcC) || !gr.InBounds(dstC) {
 		return fault.Vector{}, false
 	}
@@ -401,77 +478,94 @@ func (p *suitePre) solveTemplate(rep int, anchor grid.Coord) *template {
 	return t
 }
 
-// templateCache is the engine's content-keyed once-map (the augCache
-// pattern): sharded, with exactly one compute per key no matter how many
-// workers race on it.
-type templateCache struct {
-	shards [16]tmplShard
-}
-
-type tmplShard struct {
-	mu sync.Mutex
-	m  map[string]*tmplEntry
-}
-
-type tmplEntry struct {
-	once sync.Once
-	val  *template
-}
-
-func newTemplateCache() *templateCache {
-	c := &templateCache{}
-	for i := range c.shards {
-		c.shards[i].m = map[string]*tmplEntry{}
+// templateSize estimates a solved template's resident bytes for the
+// bounded once-map.
+func templateSize(t *template) int64 {
+	if t == nil {
+		return 16
 	}
-	return c
+	return 64 + int64(len(t.Path.Edges)+len(t.Cut.Edges))*24
 }
 
-func (c *templateCache) do(key string, compute func() *template) (*template, bool) {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	s := &c.shards[h%uint32(len(c.shards))]
-	s.mu.Lock()
-	e, hit := s.m[key]
-	if !hit {
-		e = &tmplEntry{}
-		s.m[key] = e
-	}
-	s.mu.Unlock()
-	e.once.Do(func() { e.val = compute() })
-	return e.val, hit
-}
+// tmplSchema versions the on-disk template encoding (inside the store's
+// own container framing).
+const tmplSchema = 1
 
-func (c *templateCache) len() int {
-	n := 0
-	for i := range c.shards {
-		c.shards[i].mu.Lock()
-		n += len(c.shards[i].m)
-		c.shards[i].mu.Unlock()
-	}
-	return n
+// tmplDisk is the persisted template with its schema stamp.
+type tmplDisk struct {
+	Schema int      `json:"schema"`
+	T      template `json:"t"`
 }
 
 // TemplateEngine generates per-valve suites by tile-class templates. The
 // template cache persists across Generate calls, so a sweep over growing
 // FPVA sizes re-solves only the classes it has not seen; every reused
 // template is still validated and certified on the new chip before use.
-// An engine is safe for concurrent use. For byte-reproducible output
-// across processes use a fresh engine per chip (cache warmth can change
-// which — equally certified — vectors an instantiation produces).
+// With SetStore, solved tile classes additionally persist across
+// processes in an artifact store. An engine is safe for concurrent use.
+// For byte-reproducible output across processes use a fresh engine per
+// chip (cache warmth can change which — equally certified — vectors an
+// instantiation produces).
 type TemplateEngine struct {
-	cache *templateCache
+	cache *artifact.Cache[*template]
+	store atomic.Pointer[artifact.Store]
 }
 
-// NewTemplateEngine returns an engine with an empty template cache.
-func NewTemplateEngine() *TemplateEngine {
-	return &TemplateEngine{cache: newTemplateCache()}
+// NewTemplateEngine returns an engine with an empty unbounded template
+// cache (class populations are small; bound with NewTemplateEngineBudget
+// for open-ended sweeps).
+func NewTemplateEngine() *TemplateEngine { return NewTemplateEngineBudget(0) }
+
+// NewTemplateEngineBudget bounds the engine's class cache to roughly
+// budget bytes (<= 0 = unbounded). Eviction never changes generated
+// suites: templates are pure functions of their signature and evicted
+// classes are re-solved on next use.
+func NewTemplateEngineBudget(budget int64) *TemplateEngine {
+	return &TemplateEngine{cache: artifact.NewCache[*template](budget, templateSize)}
 }
 
-// CachedTemplates returns the number of solved tile classes in the cache.
-func (e *TemplateEngine) CachedTemplates() int { return e.cache.len() }
+// SetStore attaches a disk tier: solved tile classes are persisted and
+// future engines (processes) with the same store skip those solves.
+func (e *TemplateEngine) SetStore(s *artifact.Store) { e.store.Store(s) }
+
+// CachedTemplates returns the number of solved classes resident in the
+// memory cache.
+func (e *TemplateEngine) CachedTemplates() int { return e.cache.Len() }
+
+// Trim advances the class cache's recency epoch and evicts to budget.
+// Call between Generate calls (serial points), never during one.
+func (e *TemplateEngine) Trim() { e.cache.AdvanceEpoch() }
+
+// loadTemplate fetches a persisted class solve; any miss or corruption
+// just re-solves.
+func (e *TemplateEngine) loadTemplate(sig string) (*template, bool) {
+	s := e.store.Load()
+	if s == nil {
+		return nil, false
+	}
+	payload, ok := s.Get("tmpl", artifact.SumBytes("tmpl", []byte(sig)))
+	if !ok {
+		return nil, false
+	}
+	var d tmplDisk
+	if err := json.Unmarshal(payload, &d); err != nil || d.Schema != tmplSchema {
+		return nil, false
+	}
+	t := d.T
+	return &t, true
+}
+
+// saveTemplate persists a class solve; failures are ignored (the store
+// is an accelerator).
+func (e *TemplateEngine) saveTemplate(sig string, t *template) {
+	s := e.store.Load()
+	if s == nil || t == nil {
+		return
+	}
+	if payload, err := json.Marshal(tmplDisk{Schema: tmplSchema, T: *t}); err == nil {
+		_ = s.Put("tmpl", artifact.SumBytes("tmpl", []byte(sig)), payload)
+	}
+}
 
 // Generate builds the suite for c. Results are bit-identical for any
 // worker count and reach the same coverage as GenerateBaseline.
@@ -501,7 +595,7 @@ func (e *TemplateEngine) GenerateCtx(ctx context.Context, c *chip.Chip, opts Sui
 		if lsig, ok := pre.lineSignature(v); ok {
 			sigs[v] = lsig
 		} else {
-			sigs[v], anchors[v] = pre.classSignature(v)
+			sigs[v], anchors[v] = pre.classSignature(v, false)
 		}
 		if _, ok := repOf[sigs[v]]; !ok {
 			repOf[sigs[v]] = v
@@ -516,14 +610,20 @@ func (e *TemplateEngine) GenerateCtx(ctx context.Context, c *chip.Chip, opts Sui
 	// once-map (cache hits are classes solved by an earlier Generate).
 	// Line classes need no solve: their recipe is closed-form.
 	tmpls := make([]*template, len(classes))
-	var hits atomic.Int64
+	var hits, diskHits atomic.Int64
 	err := forEachIndex(ctx, opts.workers(len(classes)), len(classes), func(i int) {
 		rep := repOf[classes[i]]
-		t, hit := e.cache.do(classes[i], func() *template {
+		t, hit := e.cache.Do(classes[i], func() *template {
 			if classes[i][0] == 'L' {
 				return &template{Line: true, HasPath: true, HasCut: true}
 			}
-			return pre.solveTemplate(rep, anchors[rep])
+			if tl, ok := e.loadTemplate(classes[i]); ok {
+				diskHits.Add(1)
+				return tl
+			}
+			t := pre.solveTemplate(rep, anchors[rep])
+			e.saveTemplate(classes[i], t)
+			return t
 		})
 		if hit {
 			hits.Add(1)
@@ -591,6 +691,7 @@ func (e *TemplateEngine) GenerateCtx(ctx context.Context, c *chip.Chip, opts Sui
 	s.Stats.Classes = len(classes)
 	s.Stats.LineClasses = lineClasses
 	s.Stats.TemplateHits = hits.Load()
+	s.Stats.TemplateDiskHits = diskHits.Load()
 	s.Stats.Instantiated = instantiated.Load()
 	s.Stats.Fallbacks = fallbacks.Load()
 	s.Stats.PathSolves = pre.pathSolves.Load()
